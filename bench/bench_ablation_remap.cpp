@@ -1,0 +1,73 @@
+// Ablation: fine-grained PGAS access vs qubit remapping (the JUQCS /
+// Li & Yuan locality technique §6 surveys). Both run on the real
+// ShmemSim backend with the same partitioning; we compare one-sided
+// remote operation counts and wall time, plus the swap overhead the
+// remapping pays.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "common/timer.hpp"
+#include "core/shmem_sim.hpp"
+#include "ir/remap.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace cb = svsim::circuits;
+
+  bench::print_header(
+      "Ablation — direct PGAS access vs qubit remapping (JUQCS-style)",
+      "ShmemSim remote one-sided ops and wall time, same partitioning");
+
+  std::printf("%-14s %4s | %14s %10s | %14s %10s %7s | %7s\n", "circuit",
+              "PEs", "remote ops", "ms", "remote ops", "ms", "swaps",
+              "reduction");
+
+  bool all_reduced = true;
+  for (const char* id : {"qft_n15", "qf21_n15", "multiplier_n15"}) {
+    const Circuit c = cb::make_table4(id);
+    const IdxType n = c.n_qubits();
+    for (const int pes : {4, 8}) {
+      ShmemSim plain(n, pes);
+      Timer t0;
+      plain.run(c);
+      const double ms0 = t0.millis();
+      const auto tr0 = plain.traffic();
+
+      RemapResult r =
+          remap_for_partition(c, n - log2_exact(pes));
+      restore_layout(r.circuit, r.layout);
+      ShmemSim mapped(n, pes);
+      Timer t1;
+      mapped.run(r.circuit);
+      const double ms1 = t1.millis();
+      const auto tr1 = mapped.traffic();
+
+      const double reduction =
+          tr0.total_remote_ops() > 0
+              ? 1.0 - static_cast<double>(tr1.total_remote_ops()) /
+                          static_cast<double>(tr0.total_remote_ops())
+              : 0.0;
+      if (tr0.total_remote_ops() > 0 &&
+          tr1.total_remote_ops() >= tr0.total_remote_ops()) {
+        all_reduced = false;
+      }
+      std::printf("%-14s %4d | %14llu %10.2f | %14llu %10.2f %7lld | %6.1f%%\n",
+                  id, pes,
+                  static_cast<unsigned long long>(tr0.total_remote_ops()),
+                  ms0,
+                  static_cast<unsigned long long>(tr1.total_remote_ops()),
+                  ms1, static_cast<long long>(r.swaps_inserted),
+                  100.0 * reduction);
+    }
+  }
+  bench::shape_check(all_reduced,
+                     "remapping trades per-gate remote access for a few "
+                     "swap exchanges (less total remote traffic)");
+  std::printf(
+      "\nNote: SV-Sim's position (§6) is that fine-grained one-sided access\n"
+      "overlaps communication with computation instead of serializing on\n"
+      "swap epochs; remapping reduces *volume* but adds synchronization\n"
+      "points — the trade the paper's NVSHMEM design avoids.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: OpenMP scheduling policy for the amplitude loop (§3.2.2:
+// "auto" reports the best performance; a suboptimal policy like dynamic
+// can drag performance by more than two orders of magnitude).
+//
+// We time an H-gate pair loop over a 2^20 state under each scheduling
+// policy. With small dynamic chunks every iteration takes a trip through
+// the scheduler — exactly the overhead the paper warns about.
+#include <omp.h>
+
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/aligned.hpp"
+#include "common/bits.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+using namespace svsim;
+
+constexpr IdxType kN = 20;
+constexpr IdxType kPairs = IdxType{1} << (kN - 1);
+
+// The schedule must be a compile-time clause, so one function per policy.
+#define SCHED_KERNEL(name, clause)                                           \
+  void apply_h_##name(ValType* real, ValType* imag, IdxType q) {             \
+    const IdxType stride = pow2(q);                                          \
+    _Pragma("omp parallel")                                                  \
+    {                                                                        \
+      _Pragma(clause) for (IdxType i = 0; i < kPairs; ++i) {                 \
+        const IdxType p0 = pair_base(i, q);                                  \
+        const IdxType p1 = p0 + stride;                                      \
+        const ValType r0 = real[p0], i0 = imag[p0];                          \
+        const ValType r1 = real[p1], i1 = imag[p1];                          \
+        real[p0] = S2I * (r0 + r1);                                          \
+        imag[p0] = S2I * (i0 + i1);                                          \
+        real[p1] = S2I * (r0 - r1);                                          \
+        imag[p1] = S2I * (i0 - i1);                                          \
+      }                                                                      \
+    }                                                                        \
+  }
+
+SCHED_KERNEL(auto_, "omp for schedule(auto)")
+SCHED_KERNEL(static_, "omp for schedule(static)")
+SCHED_KERNEL(guided, "omp for schedule(guided)")
+SCHED_KERNEL(dynamic1, "omp for schedule(dynamic, 1)")
+SCHED_KERNEL(dynamic64, "omp for schedule(dynamic, 64)")
+
+double time_policy(void (*fn)(ValType*, ValType*, IdxType), ValType* re,
+                   ValType* im) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t;
+    fn(re, im, 7);
+    fn(re, im, kN - 2);
+    best = std::min(best, t.millis());
+  }
+  return best;
+}
+
+} // namespace
+
+int main() {
+  using svsim::bench::print_header;
+  using svsim::bench::shape_check;
+
+  print_header("Ablation — OpenMP scheduling policy (\"auto\" vs others)",
+               "two H gates over a 2^20 state; milliseconds per policy");
+  std::printf("threads available: %d\n\n", omp_get_max_threads());
+
+  AlignedBuffer<ValType> real(static_cast<std::size_t>(pow2(kN)));
+  AlignedBuffer<ValType> imag(static_cast<std::size_t>(pow2(kN)));
+  real[0] = 1.0;
+
+  struct Row {
+    const char* name;
+    void (*fn)(ValType*, ValType*, IdxType);
+  };
+  const Row rows[] = {
+      {"auto", &apply_h_auto_},
+      {"static", &apply_h_static_},
+      {"guided", &apply_h_guided},
+      {"dynamic,64", &apply_h_dynamic64},
+      {"dynamic,1", &apply_h_dynamic1},
+  };
+
+  double ms_auto = 0, ms_dynamic1 = 0;
+  for (const Row& r : rows) {
+    const double ms = time_policy(r.fn, real.data(), imag.data());
+    std::printf("%-12s %10.3f ms\n", r.name, ms);
+    if (std::string_view(r.name) == "auto") ms_auto = ms;
+    if (std::string_view(r.name) == "dynamic,1") ms_dynamic1 = ms;
+  }
+  std::printf("\ndynamic,1 / auto slowdown: %.1fx\n", ms_dynamic1 / ms_auto);
+  shape_check(ms_dynamic1 > 3.0 * ms_auto,
+              "fine-chunk dynamic scheduling drags performance (paper: can "
+              "exceed two orders of magnitude)");
+  return 0;
+}

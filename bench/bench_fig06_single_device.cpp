@@ -1,0 +1,88 @@
+// Figure 6: single-device execution latency of the 8 medium circuits on
+// every evaluated platform, relative to AMD EPYC-7742 (the paper's
+// reference). Latencies come from the calibrated machine model replaying
+// the real generated circuits (see DESIGN.md §2).
+//
+// Shape claims reproduced (§4.1): (i) CPUs win at n=11-12, V100/A100 win
+// by ~10x at n=13-15; (ii) AVX-512 ~2x on Intel CPU and Phi; (iii) A100 ~
+// V100; (iv) single-core Phi slower than CPUs; (v) MI100 suboptimal
+// (runtime gate dispatch).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+  namespace cb = svsim::circuits;
+
+  bench::print_header("Figure 6 — SV-Sim single-device latency",
+                      "relative latency vs AMD EPYC-7742 (absolute ms in "
+                      "second table); model-replayed real circuits");
+
+  const auto ids = cb::medium_ids();
+  bench::Table rel("circuit");
+  bench::Table abs_ms("circuit");
+  for (const auto& e : m::fig6_platforms()) {
+    rel.add_column(e.label);
+    abs_ms.add_column(e.label);
+  }
+
+  // Remember a few latencies for the shape checks.
+  double epyc_n11 = 0, v100_n11 = 0;
+  double epyc_n15 = 0, v100_n15 = 0, a100_n15 = 0, mi100_n15 = 0;
+  double i8276_n15 = 0, i8276avx_n15 = 0, phi_n15 = 0;
+
+  for (const auto& id : ids) {
+    const Circuit c = cb::make_table4(id);
+    std::vector<double> row_rel, row_abs;
+    double baseline = 0;
+    for (const auto& e : m::fig6_platforms()) {
+      const m::CostModel model(*e.platform);
+      const double ms = model.single_device_ms(c, e.simd);
+      if (row_abs.empty()) baseline = ms; // first column is EPYC
+      row_abs.push_back(ms);
+      row_rel.push_back(ms / baseline);
+
+      const std::string label = e.label;
+      if (id == "seca_n11") {
+        if (label == "AMD_EPYC7742") epyc_n11 = ms;
+        if (label == "NVIDIA_V100") v100_n11 = ms;
+      }
+      if (id == "qft_n15") {
+        if (label == "AMD_EPYC7742") epyc_n15 = ms;
+        if (label == "NVIDIA_V100") v100_n15 = ms;
+        if (label == "NVIDIA_A100") a100_n15 = ms;
+        if (label == "AMD_MI100") mi100_n15 = ms;
+        if (label == "INTEL_P8276") i8276_n15 = ms;
+        if (label == "INTEL_P8276_AVX512") i8276avx_n15 = ms;
+        if (label == "INTEL_PHI7230") phi_n15 = ms;
+      }
+    }
+    rel.add_row(id, row_rel);
+    abs_ms.add_row(id, row_abs);
+  }
+
+  std::printf("\nRelative latency (EPYC-7742 = 1.0):\n");
+  rel.print("%12.3f");
+  std::printf("\nAbsolute modeled latency (ms):\n");
+  abs_ms.print("%12.3f");
+  std::printf("\n");
+
+  bench::shape_check(epyc_n11 < v100_n11,
+                     "n=11: CPU (EPYC) faster than V100 GPU");
+  bench::shape_check(epyc_n15 / v100_n15 >= 5.0,
+                     "n=15: V100 >=5x faster than CPU (paper: >10x)");
+  bench::shape_check(a100_n15 > 0.6 * v100_n15 && a100_n15 < 1.1 * v100_n15,
+                     "A100 shows no large speedup over V100 (memory bound)");
+  bench::shape_check(i8276_n15 / i8276avx_n15 > 1.6 &&
+                         i8276_n15 / i8276avx_n15 < 2.5,
+                     "AVX-512 gives ~2x on Intel CPU");
+  bench::shape_check(phi_n15 > i8276_n15,
+                     "single Phi core slower than Xeon core");
+  bench::shape_check(mi100_n15 > 2.0 * v100_n15,
+                     "MI100 suboptimal vs V100 (runtime dispatch path)");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: scale-up on the Intel Xeon P-8276M (AVX-512, unified memory),
+// 1..256 cores, 8 medium circuits. Relative latency vs 1 core.
+//
+// Shape claims (§4.2 CPU): below 15 qubits more cores do not help; at 15
+// qubits parallelization gains >2x; the optimum sits at 16-32 cores; >128
+// cores degrades sharply (QPI contention between sockets).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+  namespace cb = svsim::circuits;
+
+  bench::print_header("Figure 7 — scale-up on Intel P-8276M CPU (AVX-512)",
+                      "modeled latency relative to 1 core");
+
+  const int cores[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const m::CostModel model(m::intel_xeon_8276m());
+
+  bench::Table t("circuit");
+  for (const int c : cores) t.add_column(std::to_string(c));
+
+  double best_n15 = 1e30, t1_n15 = 0, t256_n15 = 0, t32_n15 = 0;
+  int best_cores_n15 = 1;
+  double t1_n11 = 0, tbest_n11 = 1e30;
+
+  for (const auto& id : cb::medium_ids()) {
+    const Circuit c = cb::make_table4(id);
+    std::vector<double> row;
+    const double base = model.scale_up_ms(c, 1, /*simd=*/true);
+    for (const int p : cores) {
+      const double ms = model.scale_up_ms(c, p, /*simd=*/true);
+      row.push_back(ms / base);
+      if (id == "qft_n15") {
+        if (p == 1) t1_n15 = ms;
+        if (p == 32) t32_n15 = ms;
+        if (p == 256) t256_n15 = ms;
+        if (ms < best_n15) {
+          best_n15 = ms;
+          best_cores_n15 = p;
+        }
+      }
+      if (id == "seca_n11") {
+        if (p == 1) t1_n11 = ms;
+        if (p > 1 && ms < tbest_n11) tbest_n11 = ms;
+      }
+    }
+    t.add_row(id, row);
+  }
+  t.print("%12.3f");
+  std::printf("\n");
+
+  bench::shape_check(tbest_n11 >= 0.9 * t1_n11,
+                     "n=11: no speedup from adding cores");
+  bench::shape_check(t1_n15 / best_n15 > 2.0,
+                     "n=15: >2x gain from parallelization");
+  bench::shape_check(best_cores_n15 >= 16 && best_cores_n15 <= 32,
+                     "optimum at 16-32 cores");
+  bench::shape_check(t256_n15 > 2.0 * t32_n15,
+                     ">128 cores imposes significant overhead (QPI)");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8: scale-up on an ALCF Theta Xeon Phi-7230 (KNL) node with
+// AVX-512, 1..64 cores, 8 medium circuits.
+//
+// Shape claims (§4.2 Xeon Phi): the sweet spot sits at 2 cores for small
+// problems (n=11-12) and ~4 cores for larger ones (n=13-15); the KNL
+// 2D-mesh all-to-all contention is more prominent than the Xeon QPI.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+  namespace cb = svsim::circuits;
+
+  bench::print_header("Figure 8 — scale-up on Xeon Phi-7230 (Theta node)",
+                      "modeled latency relative to 1 core");
+
+  const int cores[] = {1, 2, 4, 8, 16, 32, 64};
+  const m::CostModel model(m::xeon_phi_7230());
+
+  bench::Table t("circuit");
+  for (const int c : cores) t.add_column(std::to_string(c));
+
+  int best_small = 1, best_large = 1;
+  double best_small_ms = 1e30, best_large_ms = 1e30;
+
+  for (const auto& id : cb::medium_ids()) {
+    const Circuit c = cb::make_table4(id);
+    std::vector<double> row;
+    const double base = model.scale_up_ms(c, 1, /*simd=*/true);
+    for (const int p : cores) {
+      const double ms = model.scale_up_ms(c, p, /*simd=*/true);
+      row.push_back(ms / base);
+      if (id == "seca_n11" && ms < best_small_ms) {
+        best_small_ms = ms;
+        best_small = p;
+      }
+      if (id == "qft_n15" && ms < best_large_ms) {
+        best_large_ms = ms;
+        best_large = p;
+      }
+    }
+    t.add_row(id, row);
+  }
+  t.print("%12.3f");
+  std::printf("\n");
+
+  bench::shape_check(best_small <= 2, "n=11: sweet spot at <=2 cores");
+  bench::shape_check(best_large >= 2 && best_large <= 8,
+                     "n=15: sweet spot at 2-8 cores (paper: 4)");
+  return 0;
+}

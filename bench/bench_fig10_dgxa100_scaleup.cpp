@@ -1,0 +1,43 @@
+// Figure 10: scale-up on the DGX-A100 (8 GPUs, NVSwitch), 8 medium
+// circuits. Shape: same trend as DGX-2 (Fig 9) with a clear improvement
+// from 4 to 8 GPUs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+  namespace cb = svsim::circuits;
+
+  bench::print_header("Figure 10 — scale-up on DGX-A100",
+                      "modeled latency relative to 1 GPU");
+
+  const int gpus[] = {1, 2, 4, 8};
+  const m::CostModel model(m::nvidia_dgx_a100());
+
+  bench::Table t("circuit");
+  for (const int g : gpus) t.add_column(std::to_string(g));
+
+  double t4_n15 = 0, t8_n15 = 0;
+  for (const auto& id : cb::medium_ids()) {
+    const Circuit c = cb::make_table4(id);
+    std::vector<double> row;
+    const double base = model.scale_up_ms(c, 1);
+    for (const int p : gpus) {
+      const double ms = model.scale_up_ms(c, p);
+      row.push_back(ms / base);
+      if (id == "qft_n15" && p == 4) t4_n15 = ms;
+      if (id == "qft_n15" && p == 8) t8_n15 = ms;
+    }
+    t.add_row(id, row);
+  }
+  t.print("%12.3f");
+  std::printf("\n");
+
+  bench::shape_check(t8_n15 < t4_n15,
+                     "4 -> 8 GPUs: clear performance improvement");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 11: scale-up on the AMD MI100 workstation (4 GPUs, Infinity
+// Fabric). Shape (§4.2): linear but modest scaling, and *no* 1->2
+// parallelization lag — the bottleneck is the compute kernel (runtime
+// gate dispatch on the HIP path), not the communication fabric.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+  namespace cb = svsim::circuits;
+
+  bench::print_header("Figure 11 — scale-up on AMD MI100 workstation",
+                      "modeled latency relative to 1 GPU");
+
+  const int gpus[] = {1, 2, 4};
+  const m::CostModel model(m::amd_mi100());
+
+  bench::Table t("circuit");
+  for (const int g : gpus) t.add_column(std::to_string(g));
+
+  double t1_small = 0, t2_small = 0, t1_n15 = 0, t4_n15 = 0;
+  for (const auto& id : cb::medium_ids()) {
+    const Circuit c = cb::make_table4(id);
+    std::vector<double> row;
+    const double base = model.scale_up_ms(c, 1);
+    for (const int p : gpus) {
+      const double ms = model.scale_up_ms(c, p);
+      row.push_back(ms / base);
+      if (id == "seca_n11" && p == 1) t1_small = ms;
+      if (id == "seca_n11" && p == 2) t2_small = ms;
+      if (id == "qft_n15" && p == 1) t1_n15 = ms;
+      if (id == "qft_n15" && p == 4) t4_n15 = ms;
+    }
+    t.add_row(id, row);
+  }
+  t.print("%12.3f");
+  std::printf("\n");
+
+  const double gain4 = t1_n15 / t4_n15;
+  bench::shape_check(t2_small <= 1.05 * t1_small,
+                     "no 1->2 parallelization lag (compute-bound kernel)");
+  bench::shape_check(gain4 > 1.0 && gain4 < 4.0,
+                     "modest (sub-linear) scaling to 4 GPUs");
+  std::printf("4-GPU speedup on qft_n15: %.2fx\n", gain4);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 12: scale-out on Summit Power-9 CPUs over OpenSHMEM, 32..1024
+// PEs (32 cores per resource set => 32 PEs = one node), 8 large circuits.
+//
+// Shape claims (§4.3 CPU): a performance drag appears when crossing from
+// 32 intra-node cores to 64 cores across two nodes (observed for cc_n18
+// and bv_n19); beyond that scaling is mostly incremental, and the total
+// 32->1024 latency reduction stays below ~3x — communication-bound.
+// The real ShmemSim backend replays the same partitioning at a reduced
+// width to report measured one-sided traffic.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "core/shmem_sim.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+  namespace cb = svsim::circuits;
+
+  bench::print_header(
+      "Figure 12 — scale-out on Summit Power-9 CPUs (OpenSHMEM)",
+      "modeled latency relative to 32 PEs (one node); plus measured "
+      "one-sided traffic from the ShmemSim backend");
+
+  const int pes[] = {32, 64, 128, 256, 512, 1024};
+  const m::CostModel model(m::summit_cpu());
+
+  bench::Table t("circuit");
+  for (const int p : pes) t.add_column(std::to_string(p));
+
+  double cc18_32 = 0, cc18_64 = 0;
+  double sum_total_gain = 0;
+  int n_gain = 0;
+
+  for (const auto& id : cb::large_ids()) {
+    const Circuit c = cb::make_table4(id);
+    std::vector<double> row;
+    const double base = model.scale_out_ms(c, 32);
+    double last = 0;
+    for (const int p : pes) {
+      const double ms = model.scale_out_ms(c, p);
+      row.push_back(ms / base);
+      if (id == "cc_n18" && p == 32) cc18_32 = ms;
+      if (id == "cc_n18" && p == 64) cc18_64 = ms;
+      last = ms;
+    }
+    sum_total_gain += base / last;
+    ++n_gain;
+    t.add_row(id, row);
+  }
+  t.print("%12.3f");
+
+  // Measured one-sided traffic through the real SHMEM runtime at n=14.
+  std::printf("\nMeasured ShmemSim one-sided traffic (qft_n14-style QFT):\n");
+  std::printf("%6s %14s %14s %12s %10s\n", "PEs", "remote gets",
+              "remote puts", "local ops", "barriers");
+  for (const int p : {2, 4, 8, 16}) {
+    Circuit qc = cb::qft(14);
+    ShmemSim sim(14, p);
+    sim.run(qc);
+    const auto tr = sim.traffic();
+    std::printf("%6d %14llu %14llu %12llu %10llu\n", p,
+                static_cast<unsigned long long>(tr.remote_gets),
+                static_cast<unsigned long long>(tr.remote_puts),
+                static_cast<unsigned long long>(tr.local_gets + tr.local_puts),
+                static_cast<unsigned long long>(tr.barriers));
+  }
+  std::printf("\n");
+
+  const double avg_gain = sum_total_gain / n_gain;
+  bench::shape_check(cc18_64 > cc18_32,
+                     "cc_n18: drag when crossing 32 (intra-node) -> 64 "
+                     "(inter-node) cores");
+  bench::shape_check(avg_gain < 3.5,
+                     "32 -> 1024 PEs: total latency reduction < ~3x "
+                     "(communication bound)");
+  std::printf("average 32->1024 improvement: %.2fx\n", avg_gain);
+  return 0;
+}

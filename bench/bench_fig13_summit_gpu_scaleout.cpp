@@ -1,0 +1,57 @@
+// Figure 13: scale-out on Summit V100 GPUs over NVSHMEM, 4..1024 GPUs,
+// 8 large circuits.
+//
+// Shape claim (§4.3 GPU): unlike the CPU scale-out, the NVSHMEM GPU tier
+// shows strong scaling with GPU count — compute and aggregate injection
+// bandwidth both grow with nodes; the limit is the InfiniBand fabric,
+// not the kernels.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+  namespace cb = svsim::circuits;
+
+  bench::print_header(
+      "Figure 13 — scale-out on Summit V100 GPUs (NVSHMEM)",
+      "modeled latency relative to 4 GPUs");
+
+  const int gpus[] = {4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  const m::CostModel model(m::summit_gpu());
+
+  bench::Table t("circuit");
+  for (const int g : gpus) t.add_column(std::to_string(g));
+
+  int monotone_circuits = 0;
+  double sum_gain = 0;
+  for (const auto& id : cb::large_ids()) {
+    const Circuit c = cb::make_table4(id);
+    std::vector<double> row;
+    const double base = model.scale_out_ms(c, 4);
+    bool monotone = true;
+    double prev = 1e300, last = 0;
+    for (const int p : gpus) {
+      const double ms = model.scale_out_ms(c, p);
+      row.push_back(ms / base);
+      if (ms > prev * 1.02) monotone = false;
+      prev = ms;
+      last = ms;
+    }
+    if (monotone) ++monotone_circuits;
+    sum_gain += base / last;
+    t.add_row(id, row);
+  }
+  t.print("%12.4f");
+  std::printf("\n");
+
+  bench::shape_check(monotone_circuits >= 6,
+                     "strong scaling: latency decreases with GPU count for "
+                     "most circuits");
+  std::printf("average 4->1024 improvement: %.2fx (across 8 circuits)\n",
+              sum_gain / 8.0);
+  return 0;
+}

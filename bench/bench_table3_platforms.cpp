@@ -1,0 +1,55 @@
+// Table 3 reproduction: dump the calibrated platform registry — the
+// machine-model equivalents of the paper's evaluation platforms, with the
+// effective parameters that drive Figures 6-13.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "machine/platforms.hpp"
+
+int main() {
+  using namespace svsim;
+  namespace m = svsim::machine;
+
+  bench::print_header("Table 3 — evaluation platforms (model registry)",
+                      "effective model parameters per platform; see "
+                      "machine/model.hpp for the cost structure");
+
+  const m::Platform* singles[] = {
+      &m::intel_xeon_8276m(), &m::amd_epyc_7742(), &m::ibm_power9(),
+      &m::xeon_phi_7230(),    &m::nvidia_v100_dgx2(), &m::nvidia_dgx_a100(),
+      &m::amd_mi100(),        &m::summit_cpu(),       &m::summit_gpu()};
+
+  std::printf("%-28s %-5s %22s %22s\n", "platform", "arch",
+              "compute (ns/elem or us)", "interconnect");
+  for (const m::Platform* p : singles) {
+    if (p->arch == m::Arch::kCpu) {
+      std::printf("%-28s %-5s l2 %4.1f / l3 %4.1f / mem %4.1f ns  vec %.1fx",
+                  p->name.c_str(), "CPU", p->cpu.ns_l2, p->cpu.ns_l3,
+                  p->cpu.ns_mem, p->cpu.vec_speedup);
+    } else {
+      std::printf("%-28s %-5s fixed %.1f us + %.2f ns/elem, dispatch %.1f us",
+                  p->name.c_str(), "GPU", p->gpu.fixed_us, p->gpu.ns_per_elem,
+                  p->gpu.dispatch_us);
+    }
+    if (p->out.workers_per_node > 1) {
+      std::printf("  | scale-out: %d/node, NIC %.0f Melem/s, barrier %.1f+"
+                  "%.1f*lg(p) us",
+                  p->out.workers_per_node, p->out.node_melems_per_s,
+                  p->out.barrier_base_us, p->out.barrier_log_us);
+    } else if (p->up.remote_gbps_per_worker > 0) {
+      std::printf("  | scale-up: %.0f GB/s per link%s, sync %.1f+%.2f*lg(p) us",
+                  p->up.remote_gbps_per_worker,
+                  p->up.remote_bw_scales ? " (switched)" : " (bus)",
+                  p->up.sync_base_us, p->up.sync_log_us);
+    } else if (p->up.sync_quad_us > 0 || p->up.cross_socket_mult > 1.0) {
+      std::printf("  | scale-up: sync %.1f+%.1f*lg(p) us, contention "
+                  "quad %.4f from %g, x%.1f past %d cores",
+                  p->up.sync_base_us, p->up.sync_log_us, p->up.sync_quad_us,
+                  p->up.contention_from, p->up.cross_socket_mult,
+                  p->up.socket_cores);
+    }
+    std::printf("\n");
+  }
+  bench::shape_check(true, "platform registry covers all Table 3 machines");
+  return 0;
+}

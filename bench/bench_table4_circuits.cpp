@@ -1,0 +1,40 @@
+// Table 4 reproduction: generate every QASMBench routine at the paper's
+// qubit count and compare gate / CX volumes against the published table.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+
+int main() {
+  using namespace svsim;
+  using namespace svsim::circuits;
+
+  bench::print_header(
+      "Table 4 — Quantum routines evaluated for SV-Sim",
+      "generated vs paper gate/CX counts (decomposed to basic+standard "
+      "gates, as QASMBench counts them)");
+
+  std::printf("%-18s %6s %10s %10s %8s %8s %8s  %s\n", "routine", "qubits",
+              "gates", "paper", "cx", "paperCX", "ratio", "category");
+
+  bool all_close = true;
+  for (const Table4Entry& e : table4()) {
+    const Circuit c = make_table4(e.id);
+    const double ratio =
+        static_cast<double>(c.n_gates()) / static_cast<double>(e.paper_gates);
+    std::printf("%-18s %6lld %10lld %10lld %8lld %8lld %8.2f  %s\n",
+                e.id.c_str(), static_cast<long long>(c.n_qubits()),
+                static_cast<long long>(c.n_gates()),
+                static_cast<long long>(e.paper_gates),
+                static_cast<long long>(c.cx_count()),
+                static_cast<long long>(e.paper_cx), ratio,
+                e.category.c_str());
+    if (c.n_qubits() != e.qubits) all_close = false;
+    if (ratio < 0.5 || ratio > 2.0) all_close = false;
+  }
+  bench::shape_check(all_close,
+                     "all routines at paper qubit counts; gate volumes "
+                     "within 2x of Table 4");
+  return all_close ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Shared table-formatting helpers for the figure-reproduction benches.
+// Every bench prints (a) the series the paper's figure plots, and (b) a
+// short "shape check" summarizing the qualitative claim being reproduced.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace svsim::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Print a row-label column followed by one value per series column.
+class Table {
+public:
+  explicit Table(std::string corner) : corner_(std::move(corner)) {}
+
+  void add_column(const std::string& name) { columns_.push_back(name); }
+
+  void add_row(const std::string& label, const std::vector<double>& values) {
+    rows_.push_back({label, values});
+  }
+
+  void print(const char* fmt = "%12.4f") const {
+    std::printf("%-18s", corner_.c_str());
+    for (const auto& c : columns_) std::printf("%12s", c.c_str());
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      std::printf("%-18s", r.label.c_str());
+      for (const double v : r.values) std::printf(fmt, v);
+      std::printf("\n");
+    }
+  }
+
+private:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::string corner_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+inline void shape_check(bool ok, const std::string& claim) {
+  std::printf("[shape %s] %s\n", ok ? "OK  " : "MISS", claim.c_str());
+}
+
+} // namespace svsim::bench

@@ -1,0 +1,59 @@
+// noise_study: NISQ-era error modeling on a GHZ ladder — the motivation
+// §1 of the paper opens with. Compares the two noise machineries the
+// library provides:
+//   * stochastic Pauli trajectories on the state-vector backend (2^n
+//     memory, sampled), and
+//   * exact Kraus channels on the density-matrix backend (4^n memory),
+// and shows how GHZ fidelity decays with the per-gate error rate.
+//
+//   $ ./examples/noise_study [n_qubits]
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuits/qasmbench.hpp"
+#include "core/density_sim.hpp"
+#include "core/noise.hpp"
+#include "core/single_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svsim;
+
+  const IdxType n = argc > 1 ? std::atoll(argv[1]) : 6;
+  const Circuit ghz = circuits::ghz_state(n);
+  std::printf("GHZ-%lld under depolarizing noise\n\n",
+              static_cast<long long>(n));
+
+  SingleSim ideal(n);
+  ideal.run(ghz);
+  const StateVector pure = ideal.state();
+
+  std::printf("%10s %22s %22s\n", "p(error)", "trajectory fidelity",
+              "exact (density) fid.");
+  for (const ValType p : {0.0, 0.005, 0.02, 0.05, 0.1}) {
+    // Trajectory estimate (stochastic, 200 samples).
+    NoiseModel nm;
+    nm.p1 = nm.p2 = p;
+    SingleSim sv(n);
+    const ValType f_traj = noisy_fidelity(sv, ghz, nm, 200);
+
+    // Exact channel: gate-by-gate evolution with a depolarizing channel
+    // after each gate on its operand qubit(s).
+    DensitySim rho(n);
+    for (const Gate& g : ghz.gates()) {
+      Circuit one(n);
+      one.append(g);
+      rho.run(one);
+      if (p > 0) {
+        rho.depolarize(g.qb0, p);
+        if (op_info(g.op).n_qubits == 2) rho.depolarize(g.qb1, p);
+      }
+    }
+    const ValType f_exact = rho.fidelity_with_pure(pure);
+    std::printf("%10.3f %22.4f %22.4f\n", p, f_traj, f_exact);
+  }
+
+  std::printf("\n(Trajectory applies one joint 2-qubit Pauli per noisy CX;\n"
+              "the exact column applies independent per-qubit channels, so\n"
+              "the two agree closely but not identically at large p.)\n");
+  return 0;
+}

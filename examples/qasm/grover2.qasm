@@ -1,0 +1,13 @@
+// Two-qubit Grover search for |11> — one iteration reaches the marked
+// state with certainty.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+gate oracle a,b { cz a,b; }
+gate diffuse a,b { h a; h b; x a; x b; cz a,b; x a; x b; h a; h b; }
+h q[0];
+h q[1];
+oracle q[0],q[1];
+diffuse q[0],q[1];
+measure q -> c;

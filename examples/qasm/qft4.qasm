@@ -1,0 +1,20 @@
+// 4-qubit quantum Fourier transform using a parameterized custom gate.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+gate crot(k) a,b { cu1(pi/(2^k)) a,b; }
+x q[1];
+x q[3];
+h q[3];
+crot(1) q[2],q[3];
+crot(2) q[1],q[3];
+crot(3) q[0],q[3];
+h q[2];
+crot(1) q[1],q[2];
+crot(2) q[0],q[2];
+h q[1];
+crot(1) q[0],q[1];
+h q[0];
+swap q[0],q[3];
+swap q[1],q[2];

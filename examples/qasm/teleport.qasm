@@ -1,0 +1,20 @@
+// Quantum teleportation with deferred measurement: the classical
+// corrections are replaced by controlled gates (cx / cz), so the whole
+// protocol stays unitary until the final readout. q[0] carries the state
+// being teleported into q[2].
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+// Prepare an arbitrary state on q[0].
+u3(0.63,0.21,-1.2) q[0];
+// Bell pair between q[1] and q[2].
+h q[1];
+cx q[1],q[2];
+// Bell measurement basis on q[0],q[1], corrections deferred.
+cx q[0],q[1];
+h q[0];
+cx q[1],q[2];
+cz q[0],q[2];
+// q[2] now holds the original state.
+measure q[2] -> c[2];

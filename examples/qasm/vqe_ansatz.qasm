@@ -1,0 +1,26 @@
+// A bound instance of the hardware-efficient VQE ansatz (two layers,
+// angles baked in) — the kind of circuit a Python VQA loop hands to the
+// simulator every iteration.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+ry(0.42) q[0];
+rz(-0.11) q[0];
+ry(1.31) q[1];
+rz(0.87) q[1];
+ry(-0.52) q[2];
+rz(0.29) q[2];
+ry(0.05) q[3];
+rz(-1.44) q[3];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+ry(0.91) q[0];
+rz(0.33) q[0];
+ry(-0.74) q[1];
+rz(1.02) q[1];
+ry(0.18) q[2];
+rz(-0.61) q[2];
+ry(1.25) q[3];
+rz(0.48) q[3];

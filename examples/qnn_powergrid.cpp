@@ -1,0 +1,47 @@
+// The §5 "QNN for Power-Grid" use case: train a variational quantum
+// neural network (the Fig 1 circuit) to predict contingency violations on
+// a synthetic IEEE-30-bus-style dataset (see DESIGN.md for the data
+// substitution). Demonstrates the VQA iteration pattern the paper times:
+// thousands of dynamically synthesized circuits per epoch, each executed
+// through the function-pointer pipeline with no recompilation.
+//
+//   $ ./examples/qnn_powergrid [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "vqa/qnn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svsim::vqa;
+
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  // Paper setup: 20 contingency training cases.
+  const auto train_set = make_powergrid_dataset(20, 99);
+  const auto test_set = make_powergrid_dataset(40, 1234);
+
+  QnnClassifier qnn(1);
+  std::printf("QNN power-grid contingency classifier (Fig 1 circuit)\n");
+  std::printf("train=%zu test=%zu epochs=%d\n\n", train_set.size(),
+              test_set.size(), epochs);
+  std::printf("initial:  train acc %.2f%%  test acc %.2f%%\n",
+              100.0 * qnn.accuracy(train_set), 100.0 * qnn.accuracy(test_set));
+
+  const auto stats = qnn.train(train_set, epochs, 50);
+  for (std::size_t e = 0; e < stats.loss_trace.size(); ++e) {
+    std::printf("epoch %2zu: loss %.4f  train acc %.2f%%\n", e + 1,
+                stats.loss_trace[e], 100.0 * stats.accuracy_trace[e]);
+  }
+  std::printf("final:    train acc %.2f%%  test acc %.2f%%\n",
+              100.0 * qnn.accuracy(train_set), 100.0 * qnn.accuracy(test_set));
+
+  // The paper's headline for this case: ~28k circuit adjustments per
+  // epoch at ~0.6 ms each. Report the equivalent numbers here.
+  std::printf("\ncircuit evaluations: %ld (dynamically synthesized)\n",
+              stats.circuit_evaluations);
+  std::printf("mean per-circuit latency: %.4f ms (paper: ~0.6 ms/trial)\n",
+              stats.circuit_evaluations > 0
+                  ? stats.total_ms / static_cast<double>(stats.circuit_evaluations)
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// VQE for the H2 molecule through the QIR execution path (§5, Fig 16):
+// the ansatz is issued gate by gate through the QIR-runtime adapter
+// (Table 2 operations), exactly how Q# programs reach SV-Sim, and the
+// Nelder-Mead loop re-synthesizes it per iteration.
+//
+//   $ ./examples/vqe_h2 [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.hpp"
+#include "qir/qir.hpp"
+#include "vqa/optimizer.hpp"
+#include "vqa/pauli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svsim;
+  using namespace svsim::vqa;
+  namespace q = svsim::qir;
+
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 58;
+
+  const Hamiltonian h2 = h2_hamiltonian();
+  const ValType exact = h2.ground_energy();
+
+  q::QirContext ctx(2);
+  int evals = 0;
+  double total_ms = 0;
+
+  // The UCC ansatz issued through QIR operations: X for the reference
+  // state, then Exp(Y0 X1, theta) — one call, the adapter lowers it to
+  // the basis-change + CX ladder + RZ construction.
+  const Objective energy = [&](const std::vector<ValType>& params) {
+    Timer t;
+    ctx.reset();
+    ctx.X(0);
+    ctx.Exp({q::PauliAxis::Y, q::PauliAxis::X}, params[0], {0, 1});
+    const ValType e = h2.expectation(ctx.state());
+    total_ms += t.millis();
+    ++evals;
+    return e;
+  };
+
+  NelderMead::Options opt;
+  opt.max_iterations = iterations;
+  opt.initial_step = 0.4;
+  const OptResult res = NelderMead(opt).minimize(energy, {0.0});
+
+  std::printf("VQE for H2 through the QIR adapter\n");
+  std::printf("%6s %14s\n", "iter", "energy(Ha)");
+  for (std::size_t i = 0; i < res.trace.size(); i += 4) {
+    std::printf("%6zu %14.8f\n", i + 1, res.trace[i]);
+  }
+  std::printf("\nconverged: %.8f Ha (exact %.8f, error %.2e)\n",
+              res.best_value, exact, std::abs(res.best_value - exact));
+  std::printf("theta* = %.6f rad\n", res.best_params[0]);
+  std::printf("%d circuit validations, %.4f ms each (paper: 1.23 ms on "
+              "V100)\n",
+              evals, evals > 0 ? total_ms / evals : 0.0);
+  return 0;
+}

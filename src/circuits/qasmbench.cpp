@@ -1,0 +1,500 @@
+#include "circuits/qasmbench.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace svsim::circuits {
+
+namespace {
+constexpr CompoundMode kMode = CompoundMode::kDecompose;
+} // namespace
+
+Circuit ghz_state(IdxType n) {
+  Circuit c(n, kMode);
+  c.h(0);
+  for (IdxType q = 1; q < n; ++q) c.cx(q - 1, q);
+  return c; // n gates, n-1 CX — Table 4: ghz_state n=23: 23 / 22.
+}
+
+Circuit cat_state(IdxType n) {
+  // QASMBench's cat_state is the same h + CX chain preparing
+  // (|0...0> + |1...1>)/sqrt(2); the "opposite phase" is carried by the
+  // measurement basis, not extra gates. Table 4: n=22: 22 / 21.
+  return ghz_state(n);
+}
+
+Circuit bernstein_vazirani(IdxType n) {
+  // n-1 data qubits, ancilla = qubit n-1, all-ones secret:
+  // x(anc) + h(all n) + cx(data->anc) * (n-1) + h(data) * (n-1)
+  // = 1 + n + (n-1) + (n-1) = 3n - 1 gates, n-1 CX.
+  // Table 4: bv_n14: 41 / 13 ✓; bv_n19: 56 / 18 ✓.
+  Circuit c(n, kMode);
+  const IdxType anc = n - 1;
+  c.x(anc);
+  for (IdxType q = 0; q < n; ++q) c.h(q);
+  for (IdxType q = 0; q < n - 1; ++q) c.cx(q, anc);
+  for (IdxType q = 0; q < n - 1; ++q) c.h(q);
+  return c;
+}
+
+Circuit counterfeit_coin(IdxType n) {
+  // n-1 coin qubits superposed against one ancilla balance:
+  // cx(coin->anc) per coin + h(coin) per coin = 2(n-1) gates, n-1 CX.
+  // Table 4: cc_n12: 22 / 11 ✓; cc_n18: 34 / 17 ✓.
+  Circuit c(n, kMode);
+  const IdxType anc = n - 1;
+  for (IdxType q = 0; q < n - 1; ++q) c.cx(q, anc);
+  for (IdxType q = 0; q < n - 1; ++q) c.h(q);
+  return c;
+}
+
+Circuit qft(IdxType n) {
+  // h + controlled-phase ladder, no terminal swaps. Decomposed volume:
+  // n H + n(n-1)/2 cu1 (5 gates, 2 CX each).
+  // Table 4: qft_n15: 540 / 210 ✓; qft_n20: 970 / 380 ✓.
+  Circuit c(n, kMode);
+  for (IdxType q = n; q-- > 0;) {
+    c.h(q);
+    for (IdxType j = 0; j < q; ++j) {
+      c.cu1(PI / static_cast<ValType>(pow2(q - j)), j, q);
+    }
+  }
+  return c;
+}
+
+Circuit dnn(IdxType n, int layers) {
+  // Input encoding (ry+rz per qubit), `layers` blocks of
+  // [ry+rz per qubit, CX ring, ry+rz per qubit], output readout rotations
+  // (2 x (ry+rz) per... see count): dnn(16, 24):
+  //   input 32 + 24*(32+16+32) + output 64 = 2016 gates, 384 CX ✓.
+  Circuit c(n, kMode);
+  Rng rng(0xD22);
+  auto rot_layer = [&] {
+    for (IdxType q = 0; q < n; ++q) {
+      c.ry(rng.uniform(-PI, PI), q);
+      c.rz(rng.uniform(-PI, PI), q);
+    }
+  };
+  rot_layer(); // input encoding
+  for (int l = 0; l < layers; ++l) {
+    rot_layer();
+    for (IdxType q = 0; q < n; ++q) c.cx(q, (q + 1) % n); // ring
+    rot_layer();
+  }
+  rot_layer(); // output head
+  rot_layer();
+  return c;
+}
+
+namespace {
+
+/// Cuccaro majority / un-majority blocks (2 CX + CCX each).
+void maj(Circuit& c, IdxType x, IdxType y, IdxType z) {
+  c.cx(z, y);
+  c.cx(z, x);
+  c.ccx(x, y, z);
+}
+void uma(Circuit& c, IdxType x, IdxType y, IdxType z) {
+  c.ccx(x, y, z);
+  c.cx(z, x);
+  c.cx(x, y);
+}
+
+} // namespace
+
+Circuit ripple_adder(IdxType n) {
+  // Cuccaro ripple-carry adder a+b with carry-in and carry-out:
+  // layout [cin | a0 b0 a1 b1 ... | cout], (n-2)/2 bits per register.
+  // Decomposed: 8-bit version (n=18) = 16*(2 CX + Toffoli) + 1 CX
+  // = 273 gates / 129 CX (Table 4 bigadder_n18: 284 / 130).
+  SVSIM_CHECK(n >= 4 && n % 2 == 0, "ripple_adder needs even n >= 4");
+  const IdxType bits = (n - 2) / 2;
+  Circuit c(n, kMode);
+  const IdxType cin = 0;
+  auto a = [&](IdxType i) { return 1 + 2 * i; };
+  auto b = [&](IdxType i) { return 2 + 2 * i; };
+  const IdxType cout = n - 1;
+
+  // Exercise a concrete addition (a = 0b1011..., b = 0b0110...).
+  for (IdxType i = 0; i < bits; i += 2) c.x(a(i));
+  for (IdxType i = 1; i < bits; i += 2) c.x(b(i));
+
+  maj(c, cin, b(0), a(0));
+  for (IdxType i = 1; i < bits; ++i) maj(c, a(i - 1), b(i), a(i));
+  c.cx(a(bits - 1), cout);
+  for (IdxType i = bits; i-- > 1;) uma(c, a(i - 1), b(i), a(i));
+  uma(c, cin, b(0), a(0));
+  return c;
+}
+
+namespace {
+
+/// Toffoli-cascade multi-controlled X: flips `target` iff all `ctrls` set,
+/// using `work` ancillas (work.size() >= ctrls.size() - 2). Compute /
+/// copy / uncompute — the standard construction Grover oracles use.
+void mcx_cascade(Circuit& c, const std::vector<IdxType>& ctrls,
+                 IdxType target, const std::vector<IdxType>& work) {
+  const std::size_t k = ctrls.size();
+  if (k == 1) {
+    c.cx(ctrls[0], target);
+    return;
+  }
+  if (k == 2) {
+    c.ccx(ctrls[0], ctrls[1], target);
+    return;
+  }
+  SVSIM_CHECK(work.size() >= k - 2, "mcx: not enough work qubits");
+  c.ccx(ctrls[0], ctrls[1], work[0]);
+  for (std::size_t i = 2; i < k - 1; ++i) {
+    c.ccx(ctrls[i], work[i - 2], work[i - 1]);
+  }
+  c.ccx(ctrls[k - 1], work[k - 3], target);
+  for (std::size_t i = k - 1; i-- > 2;) {
+    c.ccx(ctrls[i], work[i - 2], work[i - 1]);
+  }
+  c.ccx(ctrls[0], ctrls[1], work[0]);
+}
+
+} // namespace
+
+Circuit multiply_3x5() {
+  // 3 * 5 via partial products: a (3 bits) = 3, b (3 bits) = 5,
+  // product (6 bits), 1 ancilla -> 13 qubits (Table 4 multiply_n13).
+  const IdxType n = 13;
+  Circuit c(n, kMode);
+  auto a = [](IdxType i) { return i; };          // qubits 0-2
+  auto b = [](IdxType i) { return 3 + i; };      // qubits 3-5
+  auto p = [](IdxType i) { return 6 + i; };      // qubits 6-11
+  const IdxType anc = 12;
+
+  c.x(a(0)).x(a(1)); // a = 3
+  c.x(b(0)).x(b(2)); // b = 5
+
+  // Partial products a_i * b_j accumulated into p_{i+j}; one carry
+  // propagation through the ancilla for the middle column. Plain columns
+  // use relative-phase Toffolis (rccx, 9 gates vs 15) — valid because the
+  // input registers stay in a computational basis state, the same
+  // optimization QASMBench's arithmetic circuits apply.
+  for (IdxType i = 0; i < 3; ++i) {
+    for (IdxType j = 0; j < 3; ++j) {
+      if (i + j == 2) {
+        // Middle column overflows: route through the ancilla to p3, then
+        // uncompute the ancilla (anc = a_i AND b_j throughout). Relative-
+        // phase Toffolis are safe on the basis-state registers.
+        c.rccx(a(i), b(j), anc);
+        c.rccx(anc, p(2), p(3));
+        c.cx(anc, p(2));
+        c.rccx(a(i), b(j), anc);
+      } else {
+        c.rccx(a(i), b(j), p(i + j));
+      }
+    }
+  }
+  return c;
+}
+
+Circuit multiplier(IdxType n) {
+  // Shift-and-add multiplier: x (k bits) * y (k bits) -> product (2k),
+  // with a carry ancilla; n = 4k + 3 fits n=15 at k=3.
+  const IdxType k = (n - 3) / 4;
+  SVSIM_CHECK(k >= 2, "multiplier needs n >= 11");
+  Circuit c(n, kMode);
+  auto x = [&](IdxType i) { return i; };
+  auto y = [&](IdxType i) { return k + i; };
+  auto p = [&](IdxType i) { return 2 * k + i; };
+  const IdxType carry = n - 1;
+
+  // Inputs: x = 0b10..1, y = 0b11..0 — concrete operands.
+  c.x(x(0)).x(x(k - 1));
+  c.x(y(k - 1)).x(y(k - 2));
+
+  // For each bit x_i, controlled-add (y << i) into the product with
+  // first- and second-order ripple carries through `carry`.
+  for (IdxType i = 0; i < k; ++i) {
+    for (IdxType j = 0; j < k; ++j) {
+      const IdxType pos = i + j;
+      // carry = x_i AND y_j, then ripple into the next two columns.
+      c.ccx(x(i), y(j), carry);
+      if (pos + 2 < 2 * k) {
+        c.ccx(carry, p(pos + 1), p(pos + 2)); // second-order carry
+      }
+      c.ccx(carry, p(pos), p(pos + 1)); // first-order carry
+      c.cx(carry, p(pos));              // sum bit
+      c.ccx(x(i), y(j), carry);         // uncompute
+    }
+  }
+  return c;
+}
+
+Circuit seca(IdxType n) {
+  // Shor's [[9,1,3]] code applied to teleportation (Table 4 seca_n11):
+  // 9 code qubits + 2 ancillas. Three rounds of
+  // encode -> inject error -> entangle/teleport through the Bell pair ->
+  // decode -> Toffoli majority correction.
+  SVSIM_CHECK(n >= 11, "seca needs >= 11 qubits");
+  Circuit c(n, kMode);
+  const IdxType a0 = 9;
+  const IdxType a1 = 10;
+
+  auto encode = [&] {
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    for (const IdxType blk : {IdxType{0}, IdxType{3}, IdxType{6}}) {
+      c.cx(blk, blk + 1);
+      c.cx(blk, blk + 2);
+    }
+  };
+  auto decode = [&] {
+    for (const IdxType blk : {IdxType{0}, IdxType{3}, IdxType{6}}) {
+      c.cx(blk, blk + 1);
+      c.cx(blk, blk + 2);
+      c.ccx(blk + 2, blk + 1, blk); // majority vote within the block
+    }
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.ccx(6, 3, 0); // phase majority
+  };
+
+  c.h(0); // logical |+>
+  for (int round = 0; round < 2; ++round) {
+    encode();
+    // Channel error on a rotating qubit.
+    c.x(static_cast<IdxType>(1 + round));
+    c.z(static_cast<IdxType>(4 + round));
+    // Bell pair + teleport-style entanglement of the block leader.
+    c.h(a0);
+    c.cx(a0, a1);
+    c.cx(0, a0);
+    c.h(0);
+    c.cz(0, a1);
+    c.cx(a0, a1);
+    decode();
+  }
+  return c;
+}
+
+Circuit sat(IdxType n) {
+  // Grover search for a 3-SAT instance: 4 variables, 4 clause ancillas,
+  // oracle output, 2 work qubits (sat_n11: 4 + 4 + 1 + 2 = 11).
+  SVSIM_CHECK(n >= 11, "sat needs >= 11 qubits");
+  Circuit c(n, kMode);
+  const IdxType vars = 4;
+  const IdxType n_clauses = 4;
+  auto var = [](IdxType i) { return i; };
+  auto cls = [&](IdxType i) { return vars + i; };
+  const IdxType out = vars + n_clauses;                  // 8
+  const std::vector<IdxType> work = {out + 1, out + 2};  // 9, 10
+
+  // Clauses as (literal, literal, literal) with sign = negation.
+  const int clause[4][3] = {{1, 2, -3}, {-1, 3, 4}, {2, -4, 1}, {-2, -3, 4}};
+
+  for (IdxType q = 0; q < vars; ++q) c.h(q);
+  c.x(out);
+  c.h(out);
+
+  auto oracle_half = [&](bool forward) {
+    for (IdxType k = 0; k < n_clauses; ++k) {
+      const IdxType kk = forward ? k : n_clauses - 1 - k;
+      // Clause OR via De Morgan: the ancilla ends up set unless all three
+      // literals are false.
+      for (int l = 0; l < 3; ++l) {
+        const int lit = clause[kk][l];
+        if (lit > 0) c.x(var(lit - 1)); // negate to test "literal false"
+      }
+      const std::vector<IdxType> lits = {
+          var(std::abs(clause[kk][0]) - 1), var(std::abs(clause[kk][1]) - 1),
+          var(std::abs(clause[kk][2]) - 1)};
+      c.x(cls(kk));
+      mcx_cascade(c, lits, cls(kk), work);
+      for (int l = 0; l < 3; ++l) {
+        const int lit = clause[kk][l];
+        if (lit > 0) c.x(var(lit - 1));
+      }
+    }
+  };
+
+  const int iterations = 1;
+  for (int it = 0; it < iterations; ++it) {
+    oracle_half(true);
+    // All clauses satisfied -> flip out (4 controls, 2 work qubits).
+    mcx_cascade(c, {cls(0), cls(1), cls(2), cls(3)}, out, work);
+    oracle_half(false); // uncompute clause bits
+    // Diffuser on the variables.
+    for (IdxType q = 0; q < vars; ++q) c.h(q);
+    for (IdxType q = 0; q < vars; ++q) c.x(q);
+    c.h(var(vars - 1));
+    mcx_cascade(c, {var(0), var(1), var(2)}, var(vars - 1), work);
+    c.h(var(vars - 1));
+    for (IdxType q = 0; q < vars; ++q) c.x(q);
+    for (IdxType q = 0; q < vars; ++q) c.h(q);
+  }
+  return c;
+}
+
+Circuit qf21(IdxType n) {
+  // Order finding for N=21: 8 counting qubits + 5 work qubits + spare
+  // (qf21_n15). Controlled modular multiplication is realized as a
+  // controlled register permutation (cswap ring), one per counting bit,
+  // followed by the inverse QFT on the counting register.
+  SVSIM_CHECK(n >= 13, "qf21 needs >= 13 qubits");
+  const IdxType t = 8; // counting bits
+  Circuit c(n, kMode);
+  auto cnt = [](IdxType i) { return i; };
+  auto wrk = [&](IdxType i) { return t + i; };
+
+  for (IdxType i = 0; i < t; ++i) c.h(cnt(i));
+  c.x(wrk(0)); // eigenstate register |1>
+
+  for (IdxType i = 0; i < t; ++i) {
+    // Controlled multiplication by 2^(2^i) mod 21, approximated by a
+    // controlled cyclic shift of the 5-bit work register.
+    const IdxType shift = (i % 4) + 1;
+    c.cswap(cnt(i), wrk(shift % 5), wrk((shift + 1) % 5));
+  }
+
+  // Inverse QFT on the counting register.
+  for (IdxType q = 0; q < t; ++q) {
+    for (IdxType j = 0; j < q; ++j) {
+      c.cu1(-PI / static_cast<ValType>(pow2(q - j)), cnt(j), cnt(q));
+    }
+    c.h(cnt(q));
+  }
+  return c;
+}
+
+Circuit square_root(IdxType n) {
+  // Amplitude amplification (square_root_n18): 8 data qubits, Toffoli-
+  // cascade oracle marking the target root, cascade diffuser; 8 rounds.
+  SVSIM_CHECK(n >= 18, "square_root needs >= 18 qubits");
+  const IdxType data = 8;
+  Circuit c(n, kMode);
+  auto d = [](IdxType i) { return i; };
+  const IdxType out = data; // 8
+  std::vector<IdxType> work;
+  for (IdxType i = data + 1; i < n; ++i) work.push_back(i);
+
+  std::vector<IdxType> all_data;
+  for (IdxType i = 0; i < data; ++i) all_data.push_back(d(i));
+
+  for (IdxType q = 0; q < data; ++q) c.h(d(q));
+  c.x(out);
+  c.h(out);
+
+  const IdxType target = 0b10110101; // the root being amplified
+  const int rounds = 6;
+  for (int r = 0; r < rounds; ++r) {
+    // Oracle: phase-flip |target>.
+    for (IdxType q = 0; q < data; ++q) {
+      if (!qubit_set(target, q)) c.x(d(q));
+    }
+    mcx_cascade(c, all_data, out, work);
+    for (IdxType q = 0; q < data; ++q) {
+      if (!qubit_set(target, q)) c.x(d(q));
+    }
+    // Diffuser.
+    for (IdxType q = 0; q < data; ++q) c.h(d(q));
+    for (IdxType q = 0; q < data; ++q) c.x(d(q));
+    c.h(d(data - 1));
+    mcx_cascade(c, {d(0), d(1), d(2), d(3), d(4), d(5), d(6)}, d(data - 1),
+                work);
+    c.h(d(data - 1));
+    for (IdxType q = 0; q < data; ++q) c.x(d(q));
+    for (IdxType q = 0; q < data; ++q) c.h(d(q));
+  }
+  return c;
+}
+
+Circuit random_circuit(IdxType n, IdxType n_gates, std::uint64_t seed,
+                       CompoundMode mode) {
+  Rng rng(seed);
+  Circuit c(n, mode);
+  const OP pool[] = {OP::H,   OP::X,  OP::Y,  OP::Z,   OP::T,   OP::S,
+                     OP::RX,  OP::RY, OP::RZ, OP::U1,  OP::U2,  OP::U3,
+                     OP::CX,  OP::CZ, OP::CY, OP::SWAP, OP::CU1, OP::CU3,
+                     OP::RXX, OP::RZZ};
+  for (IdxType i = 0; i < n_gates; ++i) {
+    const OP op = pool[rng.next_below(20)];
+    const auto q0 =
+        static_cast<IdxType>(rng.next_below(static_cast<std::uint64_t>(n)));
+    auto q1 =
+        static_cast<IdxType>(rng.next_below(static_cast<std::uint64_t>(n)));
+    while (q1 == q0) {
+      q1 = static_cast<IdxType>(rng.next_below(static_cast<std::uint64_t>(n)));
+    }
+    Gate g = op_info(op).n_qubits == 1 ? make_gate(op, q0)
+                                       : make_gate(op, q0, q1);
+    g.theta = rng.uniform(-PI, PI);
+    g.phi = rng.uniform(-PI, PI);
+    g.lam = rng.uniform(-PI, PI);
+    c.append(g);
+  }
+  return c;
+}
+
+const std::vector<Table4Entry>& table4() {
+  static const std::vector<Table4Entry> rows = {
+      {"seca_n11", "seca", 11, 216, 84, "medium"},
+      {"sat_n11", "sat", 11, 679, 252, "medium"},
+      {"cc_n12", "cc", 12, 22, 11, "medium"},
+      {"multiply_n13", "multiply", 13, 98, 40, "medium"},
+      {"bv_n14", "bv", 14, 41, 13, "medium"},
+      {"qf21_n15", "qf21", 15, 311, 115, "medium"},
+      {"qft_n15", "qft", 15, 540, 210, "medium"},
+      {"multiplier_n15", "multiplier", 15, 574, 246, "medium"},
+      {"dnn_n16", "dnn", 16, 2016, 384, "large"},
+      {"bigadder_n18", "bigadder", 18, 284, 130, "large"},
+      {"cc_n18", "cc", 18, 34, 17, "large"},
+      {"square_root_n18", "square_root", 18, 2300, 898, "large"},
+      {"bv_n19", "bv", 19, 56, 18, "large"},
+      {"qft_n20", "qft", 20, 970, 380, "large"},
+      {"cat_state_n22", "cat_state", 22, 22, 21, "large"},
+      {"ghz_state_n23", "ghz_state", 23, 23, 22, "large"},
+  };
+  return rows;
+}
+
+Circuit make_table4(const std::string& id) {
+  for (const Table4Entry& e : table4()) {
+    if (e.id != id) continue;
+    if (e.routine == "seca") return seca(e.qubits);
+    if (e.routine == "sat") return sat(e.qubits);
+    if (e.routine == "cc") return counterfeit_coin(e.qubits);
+    if (e.routine == "multiply") return multiply_3x5();
+    if (e.routine == "bv") return bernstein_vazirani(e.qubits);
+    if (e.routine == "qf21") return qf21(e.qubits);
+    if (e.routine == "qft") return qft(e.qubits);
+    if (e.routine == "multiplier") return multiplier(e.qubits);
+    if (e.routine == "dnn") return dnn(e.qubits, 24);
+    if (e.routine == "bigadder") return ripple_adder(e.qubits);
+    if (e.routine == "square_root") return square_root(e.qubits);
+    if (e.routine == "cat_state") return cat_state(e.qubits);
+    if (e.routine == "ghz_state") return ghz_state(e.qubits);
+  }
+  throw Error("unknown Table 4 circuit id: " + id);
+}
+
+std::vector<std::string> medium_ids() {
+  std::vector<std::string> out;
+  for (const auto& e : table4()) {
+    if (e.category == "medium") out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<std::string> large_ids() {
+  std::vector<std::string> out;
+  for (const auto& e : table4()) {
+    if (e.category == "large") out.push_back(e.id);
+  }
+  return out;
+}
+
+} // namespace svsim::circuits

@@ -1,0 +1,33 @@
+#include "common/config.hpp"
+
+#include "common/error.hpp"
+
+namespace svsim {
+
+SimdLevel max_simd_level() {
+#if defined(__AVX512F__)
+  return SimdLevel::kAvx512;
+#elif defined(__AVX2__)
+  return SimdLevel::kAvx2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+SimdLevel simd_level_from_string(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  throw Error("unknown SIMD level: " + name);
+}
+
+} // namespace svsim

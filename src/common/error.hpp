@@ -1,0 +1,42 @@
+// Error handling utilities.
+//
+// SV-Sim is a library first: invariant violations surface as exceptions
+// carrying the failing expression and location, never as aborts, so that
+// frontends (tests, Python-style drivers, VQA loops) can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace svsim {
+
+/// Exception thrown on any SV-Sim API misuse or internal invariant failure.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << "svsim: check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+} // namespace detail
+
+} // namespace svsim
+
+/// Check a condition; throws svsim::Error with location info on failure.
+/// This is the moral equivalent of the paper's cudaSafeCall/hipSafeCall
+/// wrappers: every fallible step is checked at the call site.
+#define SVSIM_CHECK(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::svsim::detail::raise(#cond, __FILE__, __LINE__, (msg));               \
+    }                                                                         \
+  } while (0)
+
+#define SVSIM_CHECK_OK(cond) SVSIM_CHECK(cond, std::string{})

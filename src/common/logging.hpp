@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The library itself stays silent at default level; benches and examples
+// raise the level to narrate progress. Thread-safe: distributed backends
+// log from PE worker threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace svsim {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at the given level (adds a "[svsim] LEVEL " prefix).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (level > log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+} // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+
+} // namespace svsim

@@ -1,0 +1,80 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Measurement sampling and workload generation must be reproducible across
+// runs and across backends, so every component takes an explicit seeded
+// generator instead of touching global state. xoshiro256** is used because
+// it is a few cycles per draw (sampling a 2^n-outcome distribution draws
+// once per shot) and has well-understood statistical quality.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace svsim {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Seed via splitmix64 so that nearby seeds yield decorrelated streams.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  ValType next_double() {
+    return static_cast<ValType>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  ValType uniform(ValType lo, ValType hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible
+    // for the bounds used here (< 2^40).
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (used by synthetic data generators).
+  ValType next_gaussian() {
+    ValType u1 = next_double();
+    ValType u2 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * PI * u2);
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+} // namespace svsim

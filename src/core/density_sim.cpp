@@ -1,0 +1,158 @@
+#include "core/density_sim.hpp"
+
+#include <cmath>
+
+namespace svsim {
+
+namespace {
+
+Mat2 conj2(const Mat2& m) {
+  return {std::conj(m[0]), std::conj(m[1]), std::conj(m[2]),
+          std::conj(m[3])};
+}
+
+Mat4 conj4(const Mat4& m) {
+  Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r[i] = std::conj(m[i]);
+  return r;
+}
+
+} // namespace
+
+DensitySim::DensitySim(IdxType n_qubits)
+    : n_(n_qubits), dim_(pow2(n_qubits)), vec_(2 * n_qubits) {
+  SVSIM_CHECK(n_qubits <= 14,
+              "DensitySim needs 4^n amplitudes; n > 14 will not fit");
+}
+
+void DensitySim::reset_state() { vec_.reset_state(); }
+
+void DensitySim::two_sided(const Mat2& m, IdxType q) {
+  vec_.apply_matrix(m, q);
+  vec_.apply_matrix(conj2(m), q + n_);
+}
+
+void DensitySim::two_sided(const Mat4& m, IdxType q0, IdxType q1) {
+  vec_.apply_matrix(m, q0, q1);
+  vec_.apply_matrix(conj4(m), q0 + n_, q1 + n_);
+}
+
+void DensitySim::run(const Circuit& circuit) {
+  SVSIM_CHECK(circuit.n_qubits() == n_, "circuit width mismatch");
+  for (const Gate& g : circuit.gates()) {
+    if (g.op == OP::BARRIER) continue;
+    SVSIM_CHECK(is_unitary_op(g.op),
+                "DensitySim::run handles unitary gates; use the channel "
+                "APIs for non-unitary evolution");
+    const OpInfo& info = op_info(g.op);
+    if (info.n_qubits == 1) {
+      two_sided(matrix_1q(g), g.qb0);
+    } else {
+      two_sided(matrix_2q(g), g.qb0, g.qb1);
+    }
+  }
+}
+
+void DensitySim::apply_kraus(const std::vector<Mat2>& kraus, IdxType q) {
+  SVSIM_CHECK(!kraus.empty(), "empty Kraus set");
+  SVSIM_CHECK(q >= 0 && q < n_, "qubit out of range");
+  // Completeness: sum K^dag K == I.
+  Mat2 sum{};
+  for (const Mat2& k : kraus) {
+    const Mat2 kk = matmul(adjoint(k), k);
+    for (std::size_t i = 0; i < 4; ++i) sum[i] += kk[i];
+  }
+  SVSIM_CHECK(std::abs(sum[0] - Complex{1, 0}) < 1e-9 &&
+                  std::abs(sum[3] - Complex{1, 0}) < 1e-9 &&
+                  std::abs(sum[1]) < 1e-9 && std::abs(sum[2]) < 1e-9,
+              "Kraus operators are not trace preserving");
+
+  // vec(rho)' = sum_k (K_k (x) conj(K_k)) vec(rho): accumulate over
+  // copies of the current vector.
+  const StateVector before = vec_.state();
+  StateVector acc(2 * n_);
+  for (const Mat2& k : kraus) {
+    vec_.load_state(before);
+    two_sided(k, q);
+    const StateVector term = vec_.state();
+    for (std::size_t i = 0; i < acc.amps.size(); ++i) {
+      acc.amps[i] += term.amps[i];
+    }
+  }
+  vec_.load_state(acc);
+}
+
+void DensitySim::depolarize(IdxType q, ValType p) {
+  SVSIM_CHECK(p >= 0 && p <= 1, "probability out of range");
+  const ValType s0 = std::sqrt(1 - p);
+  const ValType s1 = std::sqrt(p / 3);
+  const Mat2 k0 = {s0, 0, 0, s0};
+  const Mat2 kx = {0, s1, s1, 0};
+  const Mat2 ky = {0, Complex{0, -s1}, Complex{0, s1}, 0};
+  const Mat2 kz = {s1, 0, 0, -s1};
+  apply_kraus({k0, kx, ky, kz}, q);
+}
+
+void DensitySim::amplitude_damp(IdxType q, ValType gamma) {
+  SVSIM_CHECK(gamma >= 0 && gamma <= 1, "gamma out of range");
+  const Mat2 k0 = {1, 0, 0, std::sqrt(1 - gamma)};
+  const Mat2 k1 = {0, std::sqrt(gamma), 0, 0};
+  apply_kraus({k0, k1}, q);
+}
+
+void DensitySim::phase_damp(IdxType q, ValType lambda) {
+  SVSIM_CHECK(lambda >= 0 && lambda <= 1, "lambda out of range");
+  const Mat2 k0 = {1, 0, 0, std::sqrt(1 - lambda)};
+  const Mat2 k1 = {0, 0, 0, std::sqrt(lambda)};
+  apply_kraus({k0, k1}, q);
+}
+
+Complex DensitySim::element(IdxType row, IdxType col) const {
+  SVSIM_CHECK(row >= 0 && row < dim_ && col >= 0 && col < dim_,
+              "element out of range");
+  // vec(rho) in our qubit layout: ket bits low, bra bits high; rho_{rc}
+  // = <r| rho |c> lives at index r + (c << n) with rho column-stacked.
+  const StateVector v = vec_.state();
+  return v.amps[static_cast<std::size_t>(row + (col << n_))];
+}
+
+ValType DensitySim::trace() const {
+  const StateVector v = vec_.state();
+  ValType tr = 0;
+  for (IdxType i = 0; i < dim_; ++i) {
+    tr += v.amps[static_cast<std::size_t>(i + (i << n_))].real();
+  }
+  return tr;
+}
+
+ValType DensitySim::purity() const {
+  // Tr(rho^2) = sum_{ij} |rho_ij|^2 = ||vec(rho)||^2 for Hermitian rho.
+  return vec_.state().norm();
+}
+
+std::vector<ValType> DensitySim::probabilities() const {
+  const StateVector v = vec_.state();
+  std::vector<ValType> p(static_cast<std::size_t>(dim_));
+  for (IdxType i = 0; i < dim_; ++i) {
+    p[static_cast<std::size_t>(i)] =
+        v.amps[static_cast<std::size_t>(i + (i << n_))].real();
+  }
+  return p;
+}
+
+ValType DensitySim::fidelity_with_pure(const StateVector& psi) const {
+  SVSIM_CHECK(psi.n_qubits == n_, "state width mismatch");
+  // <psi| rho |psi> = sum_{rc} conj(psi_r) rho_{rc} psi_c.
+  const StateVector v = vec_.state();
+  Complex f = 0;
+  for (IdxType r = 0; r < dim_; ++r) {
+    for (IdxType c = 0; c < dim_; ++c) {
+      f += std::conj(psi.amps[static_cast<std::size_t>(r)]) *
+           v.amps[static_cast<std::size_t>(r + (c << n_))] *
+           psi.amps[static_cast<std::size_t>(c)];
+    }
+  }
+  return f.real();
+}
+
+} // namespace svsim

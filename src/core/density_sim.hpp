@@ -1,0 +1,81 @@
+// DensitySim: a density-matrix backend in the vectorized (doubled) space.
+//
+// The paper's §6 discusses the authors' companion density-matrix simulator
+// (DM-Sim [41]) whose communication pattern differs from state vectors;
+// this backend provides that capability here: rho is stored as
+// vec(rho) — a 2^(2n) vector — and a gate U becomes U (ket qubits
+// [0..n)) followed by conj(U) (bra qubits [n..2n)), since
+// vec(U rho U^dag) = (U (x) conj(U)) vec(rho). Kraus channels apply as
+// sums of (K (x) conj(K)) terms, giving *exact* open-system evolution —
+// the cross-check for the stochastic trajectory method in core/noise.hpp.
+//
+// Memory is 4^n amplitudes, so this backend targets the small-n regime
+// (n <= ~12 on a laptop) where exact channels matter most.
+#pragma once
+
+#include <vector>
+
+#include "core/generalized_sim.hpp"
+#include "ir/circuit.hpp"
+
+namespace svsim {
+
+class DensitySim {
+public:
+  explicit DensitySim(IdxType n_qubits);
+
+  IdxType n_qubits() const { return n_; }
+
+  /// Back to the pure state |0...0><0...0|.
+  void reset_state();
+
+  /// Apply every (unitary) gate of `circuit`: two-sided conjugation.
+  /// Measurement/reset ops are rejected — use the channel and
+  /// measurement APIs below.
+  void run(const Circuit& circuit);
+
+  // --- channels (exact Kraus application) ---
+
+  /// Depolarizing channel on qubit q with probability p:
+  /// rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+  void depolarize(IdxType q, ValType p);
+
+  /// Amplitude damping with decay probability gamma (|1> -> |0>).
+  void amplitude_damp(IdxType q, ValType gamma);
+
+  /// Phase damping (pure dephasing) with probability lambda.
+  void phase_damp(IdxType q, ValType lambda);
+
+  /// Generic channel: rho -> sum_k K_k rho K_k^dag. Kraus operators act
+  /// on a single qubit; completeness (sum K^dag K = I) is checked.
+  void apply_kraus(const std::vector<Mat2>& kraus, IdxType q);
+
+  // --- observables ---
+
+  /// Tr(rho) — 1 for any valid evolution (trace-preserving channels).
+  ValType trace() const;
+
+  /// Tr(rho^2) — 1 iff the state is pure.
+  ValType purity() const;
+
+  /// Diagonal of rho: measurement probabilities per basis state.
+  std::vector<ValType> probabilities() const;
+
+  /// <psi| rho |psi> against a pure reference state.
+  ValType fidelity_with_pure(const StateVector& psi) const;
+
+  /// rho element (row, col) — for tests and debugging.
+  Complex element(IdxType row, IdxType col) const;
+
+private:
+  /// Apply a dense 1-qubit matrix two-sidedly: m on ket qubit q, conj(m)
+  /// on bra qubit q+n.
+  void two_sided(const Mat2& m, IdxType q);
+  void two_sided(const Mat4& m, IdxType q0, IdxType q1);
+
+  IdxType n_;
+  IdxType dim_;       // 2^n
+  GeneralizedSim vec_; // the 2n-qubit vectorized state
+};
+
+} // namespace svsim

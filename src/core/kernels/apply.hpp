@@ -1,0 +1,66 @@
+// Shared kernel helpers: generic 2x2 pair application and its controlled
+// variant. The *specialized* gates (X, Z, H, T, phase gates, ...) do NOT go
+// through these — they have hand-written bodies touching only the
+// amplitudes they must (the paper's "specialized gate implementation") —
+// but the parameterized rotations (u2/u3/rx/ry, cu3/crx/cry) share this
+// dense 2x2 core with their entries precomputed outside the loop.
+#pragma once
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "ir/gate.hpp"
+
+namespace svsim::kernels {
+
+/// Real/imag split of a 2x2 complex matrix, precomputed per gate.
+struct Entries2x2 {
+  ValType r00, i00, r01, i01, r10, i10, r11, i11;
+};
+
+/// Apply a dense 2x2 to every pair (s, s+2^q) for pair index i in
+/// [begin, end).
+template <class Space>
+inline void apply_2x2(const Space& sp, IdxType q, IdxType begin, IdxType end,
+                      const Entries2x2& m) {
+  const IdxType stride = pow2(q);
+  for (IdxType i = begin; i < end; ++i) {
+    const IdxType p0 = pair_base(i, q);
+    const IdxType p1 = p0 + stride;
+    const ValType r0 = sp.get_real(p0);
+    const ValType i0 = sp.get_imag(p0);
+    const ValType r1 = sp.get_real(p1);
+    const ValType i1 = sp.get_imag(p1);
+    sp.set_real(p0, m.r00 * r0 - m.i00 * i0 + m.r01 * r1 - m.i01 * i1);
+    sp.set_imag(p0, m.r00 * i0 + m.i00 * r0 + m.r01 * i1 + m.i01 * r1);
+    sp.set_real(p1, m.r10 * r0 - m.i10 * i0 + m.r11 * r1 - m.i11 * i1);
+    sp.set_imag(p1, m.r10 * i0 + m.i10 * r0 + m.r11 * i1 + m.i11 * r1);
+  }
+}
+
+/// Apply a dense 2x2 to the target qubit t in the subspace where control c
+/// is |1>: quadruple index i in [begin, end) enumerates Eq. (2) blocks over
+/// (min,max) of (c,t); only the two control-set positions are touched —
+/// half the memory traffic of a generic 4x4 application.
+template <class Space>
+inline void apply_ctrl_2x2(const Space& sp, IdxType c, IdxType t,
+                           IdxType begin, IdxType end, const Entries2x2& m) {
+  const IdxType p = c < t ? c : t;
+  const IdxType q = c < t ? t : c;
+  const IdxType coff = pow2(c);
+  const IdxType toff = pow2(t);
+  for (IdxType i = begin; i < end; ++i) {
+    const IdxType s = quad_base(i, p, q);
+    const IdxType p0 = s + coff;        // control 1, target 0
+    const IdxType p1 = s + coff + toff; // control 1, target 1
+    const ValType r0 = sp.get_real(p0);
+    const ValType i0 = sp.get_imag(p0);
+    const ValType r1 = sp.get_real(p1);
+    const ValType i1 = sp.get_imag(p1);
+    sp.set_real(p0, m.r00 * r0 - m.i00 * i0 + m.r01 * r1 - m.i01 * i1);
+    sp.set_imag(p0, m.r00 * i0 + m.i00 * r0 + m.r01 * i1 + m.i01 * r1);
+    sp.set_real(p1, m.r10 * r0 - m.i10 * i0 + m.r11 * r1 - m.i11 * i1);
+    sp.set_imag(p1, m.r10 * i0 + m.i10 * r0 + m.r11 * i1 + m.i11 * r1);
+  }
+}
+
+} // namespace svsim::kernels

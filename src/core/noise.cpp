@@ -1,0 +1,77 @@
+#include "core/noise.hpp"
+
+namespace svsim {
+
+namespace {
+
+void append_pauli(Circuit& c, int which, IdxType q) {
+  switch (which) {
+    case 0: c.x(q); break;
+    case 1: c.y(q); break;
+    case 2: c.z(q); break;
+    default: break; // identity
+  }
+}
+
+} // namespace
+
+Circuit inject_pauli_noise(const Circuit& in, const NoiseModel& noise,
+                           Rng& rng) {
+  Circuit out(in.n_qubits(), in.compound_mode(), in.n_cbits());
+  for (const Gate& g : in.gates()) {
+    out.append(g);
+    if (!is_unitary_op(g.op)) continue;
+    const int nq = op_info(g.op).n_qubits;
+    if (nq == 1) {
+      if (noise.p1 > 0 && rng.next_double() < noise.p1) {
+        append_pauli(out, static_cast<int>(rng.next_below(3)), g.qb0);
+      }
+    } else if (nq == 2) {
+      if (noise.p2 > 0 && rng.next_double() < noise.p2) {
+        // One of the 15 non-identity two-qubit Paulis: draw (pa, pb) in
+        // {I,X,Y,Z}^2 \ {II}.
+        const auto k = static_cast<int>(rng.next_below(15)) + 1;
+        append_pauli(out, k / 4 - 1, g.qb0);
+        append_pauli(out, k % 4 - 1, g.qb1);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ValType> noisy_probabilities(Simulator& sim,
+                                         const Circuit& circuit,
+                                         const NoiseModel& noise,
+                                         int trajectories,
+                                         std::uint64_t seed) {
+  SVSIM_CHECK(trajectories >= 1, "need at least one trajectory");
+  Rng rng(seed);
+  std::vector<ValType> avg(static_cast<std::size_t>(pow2(sim.n_qubits())),
+                           0);
+  for (int t = 0; t < trajectories; ++t) {
+    const Circuit noisy = inject_pauli_noise(circuit, noise, rng);
+    sim.run_fresh(noisy);
+    const auto probs = sim.probabilities();
+    for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += probs[k];
+  }
+  for (auto& p : avg) p /= static_cast<ValType>(trajectories);
+  return avg;
+}
+
+ValType noisy_fidelity(Simulator& sim, const Circuit& circuit,
+                       const NoiseModel& noise, int trajectories,
+                       std::uint64_t seed) {
+  sim.run_fresh(circuit);
+  const StateVector ideal = sim.state();
+  Rng rng(seed);
+  ValType total = 0;
+  for (int t = 0; t < trajectories; ++t) {
+    const Circuit noisy = inject_pauli_noise(circuit, noise, rng);
+    sim.run_fresh(noisy);
+    const ValType f = ideal.fidelity(sim.state());
+    total += f * f; // state fidelity |<ideal|noisy>|^2
+  }
+  return total / static_cast<ValType>(trajectories);
+}
+
+} // namespace svsim

@@ -1,0 +1,130 @@
+#include "core/peer_sim.hpp"
+
+#include <thread>
+
+#include "shmem/barrier.hpp"
+
+namespace svsim {
+
+PeerSim::PeerSim(IdxType n_qubits, int n_devices, SimConfig cfg)
+    : n_(n_qubits),
+      dim_(pow2(n_qubits)),
+      n_dev_(n_devices),
+      cfg_(cfg),
+      cbits_(static_cast<std::size_t>(n_qubits), 0) {
+  SVSIM_CHECK(n_devices >= 1 && is_pow2(n_devices),
+              "device count must be a power of two");
+  SVSIM_CHECK(dim_ >= n_devices, "more devices than amplitudes");
+  lg_part_ = n_ - log2_exact(n_devices);
+
+  const auto per_dev = static_cast<std::size_t>(pow2(lg_part_));
+  real_parts_.reserve(static_cast<std::size_t>(n_dev_));
+  imag_parts_.reserve(static_cast<std::size_t>(n_dev_));
+  for (int d = 0; d < n_dev_; ++d) {
+    real_parts_.emplace_back(per_dev);
+    imag_parts_.emplace_back(per_dev);
+    // The shared pointer array (Listing 4 lines 17-34).
+    real_ptrs_.push_back(real_parts_.back().data());
+    imag_ptrs_.push_back(imag_parts_.back().data());
+  }
+  real_parts_[0][0] = 1.0; // |0...0>
+
+  mctx_.cbits = cbits_.data();
+  rngs_.assign(static_cast<std::size_t>(n_dev_), Rng(cfg.seed));
+  scratch_.assign(static_cast<std::size_t>(n_dev_), 0);
+  traffic_.assign(static_cast<std::size_t>(n_dev_), PeerTraffic{});
+}
+
+void PeerSim::reset_state() {
+  for (int d = 0; d < n_dev_; ++d) {
+    real_parts_[static_cast<std::size_t>(d)].zero();
+    imag_parts_[static_cast<std::size_t>(d)].zero();
+  }
+  real_parts_[0][0] = 1.0;
+  std::fill(cbits_.begin(), cbits_.end(), 0);
+  for (auto& rng : rngs_) rng.reseed(cfg_.seed);
+}
+
+void PeerSim::execute(const Circuit& circuit) {
+  const auto device_circuit =
+      upload_circuit<PeerSpace>(circuit, KernelTable<PeerSpace>::get());
+
+  shmem::Barrier grid(n_dev_); // the multi-device grid (grid.sync())
+  traffic_.assign(static_cast<std::size_t>(n_dev_), PeerTraffic{});
+
+  auto device_main = [&](int d) {
+    PeerSpace sp;
+    sp.real_parts = real_ptrs_.data();
+    sp.imag_parts = imag_ptrs_.data();
+    sp.lg_part = lg_part_;
+    sp.dim = dim_;
+    sp.mctx = &mctx_;
+    sp.rng = &rngs_[static_cast<std::size_t>(d)];
+    sp.worker_id = d;
+    sp.num_workers = n_dev_;
+    sp.barrier = &grid;
+    sp.scratch = scratch_.data();
+    sp.traffic = cfg_.count_traffic ? &traffic_[static_cast<std::size_t>(d)]
+                                    : nullptr;
+    simulation_kernel(device_circuit, sp);
+  };
+
+  // One host thread per device (the paper's `omp parallel num_threads
+  // (n_gpus)` launcher); device 0 runs on the calling thread.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n_dev_ - 1));
+  for (int d = 1; d < n_dev_; ++d) workers.emplace_back(device_main, d);
+  device_main(0);
+  for (auto& t : workers) t.join();
+}
+
+void PeerSim::run(const Circuit& circuit) {
+  SVSIM_CHECK(circuit.n_qubits() == n_, "circuit width != simulator width");
+  execute(circuit);
+}
+
+StateVector PeerSim::state() const {
+  StateVector sv(n_);
+  const IdxType per = pow2(lg_part_);
+  for (IdxType k = 0; k < dim_; ++k) {
+    const auto d = static_cast<std::size_t>(k >> lg_part_);
+    const auto off = static_cast<std::size_t>(k & (per - 1));
+    sv.amps[static_cast<std::size_t>(k)] =
+        Complex{real_parts_[d][off], imag_parts_[d][off]};
+  }
+  return sv;
+}
+
+void PeerSim::load_state(const StateVector& sv) {
+  SVSIM_CHECK(sv.n_qubits == n_, "state width mismatch");
+  const IdxType per = pow2(lg_part_);
+  for (IdxType k = 0; k < dim_; ++k) {
+    const auto d = static_cast<std::size_t>(k >> lg_part_);
+    const auto off = static_cast<std::size_t>(k & (per - 1));
+    real_parts_[d][off] = sv.amps[static_cast<std::size_t>(k)].real();
+    imag_parts_[d][off] = sv.amps[static_cast<std::size_t>(k)].imag();
+  }
+}
+
+std::vector<IdxType> PeerSim::sample(IdxType shots) {
+  results_.assign(static_cast<std::size_t>(shots), 0);
+  mctx_.results = results_.data();
+  mctx_.n_shots = shots;
+  Circuit c(n_);
+  c.measure_all();
+  execute(c);
+  mctx_.results = nullptr;
+  mctx_.n_shots = 0;
+  return results_;
+}
+
+PeerTraffic PeerSim::traffic() const {
+  PeerTraffic total;
+  for (const auto& t : traffic_) {
+    total.local_access += t.local_access;
+    total.remote_access += t.remote_access;
+  }
+  return total;
+}
+
+} // namespace svsim

@@ -1,0 +1,124 @@
+#include "core/shmem_sim.hpp"
+
+namespace svsim {
+
+namespace {
+std::size_t default_heap_bytes(IdxType n_qubits, int n_pes) {
+  // Two ValType arrays of 2^n / n_pes amplitudes each, plus slack for
+  // alignment.
+  const std::size_t per_pe =
+      static_cast<std::size_t>(pow2(n_qubits)) / static_cast<std::size_t>(n_pes);
+  return per_pe * 2 * sizeof(ValType) + (1u << 16);
+}
+} // namespace
+
+ShmemSim::ShmemSim(IdxType n_qubits, int n_pes, SimConfig cfg,
+                   std::size_t heap_bytes)
+    : n_(n_qubits),
+      dim_(pow2(n_qubits)),
+      n_pes_(n_pes),
+      cfg_(cfg),
+      runtime_(n_pes, heap_bytes != 0 ? heap_bytes
+                                      : default_heap_bytes(n_qubits, n_pes)),
+      cbits_(static_cast<std::size_t>(n_qubits), 0) {
+  SVSIM_CHECK(dim_ >= n_pes, "more PEs than amplitudes");
+  lg_part_ = n_ - log2_exact(n_pes);
+
+  real_sym_.assign(static_cast<std::size_t>(n_pes_), nullptr);
+  imag_sym_.assign(static_cast<std::size_t>(n_pes_), nullptr);
+  mctx_.cbits = cbits_.data();
+  rngs_.assign(static_cast<std::size_t>(n_pes_), Rng(cfg.seed));
+
+  // Setup "job": symmetric allocation of the partitioned state vector
+  // (Listing 5 lines 23-24) and |0...0> initialization.
+  const IdxType per_pe = pow2(lg_part_);
+  runtime_.run([&](shmem::Ctx& ctx) {
+    ValType* r = ctx.malloc_sym<ValType>(static_cast<std::size_t>(per_pe));
+    ValType* i = ctx.malloc_sym<ValType>(static_cast<std::size_t>(per_pe));
+    real_sym_[static_cast<std::size_t>(ctx.pe())] = r;
+    imag_sym_[static_cast<std::size_t>(ctx.pe())] = i;
+    if (ctx.pe() == 0) r[0] = 1.0;
+    ctx.barrier_all();
+  });
+}
+
+void ShmemSim::reset_state() {
+  const IdxType per_pe = pow2(lg_part_);
+  runtime_.run([&](shmem::Ctx& ctx) {
+    ValType* r = real_sym_[static_cast<std::size_t>(ctx.pe())];
+    ValType* i = imag_sym_[static_cast<std::size_t>(ctx.pe())];
+    for (IdxType k = 0; k < per_pe; ++k) {
+      r[k] = 0;
+      i[k] = 0;
+    }
+    if (ctx.pe() == 0) r[0] = 1.0;
+    ctx.barrier_all();
+  });
+  std::fill(cbits_.begin(), cbits_.end(), 0);
+  for (auto& rng : rngs_) rng.reseed(cfg_.seed);
+}
+
+void ShmemSim::execute(const Circuit& circuit) {
+  const auto device_circuit =
+      upload_circuit<ShmemSpace>(circuit, KernelTable<ShmemSpace>::get());
+
+  runtime_.run([&](shmem::Ctx& ctx) {
+    ShmemSpace sp;
+    sp.ctx = &ctx;
+    sp.real_sym = real_sym_[static_cast<std::size_t>(ctx.pe())];
+    sp.imag_sym = imag_sym_[static_cast<std::size_t>(ctx.pe())];
+    sp.lg_part = lg_part_;
+    sp.dim = dim_;
+    sp.mctx = &mctx_;
+    sp.rng = &rngs_[static_cast<std::size_t>(ctx.pe())];
+    simulation_kernel(device_circuit, sp);
+  });
+  last_traffic_ = runtime_.aggregate_traffic();
+}
+
+void ShmemSim::run(const Circuit& circuit) {
+  SVSIM_CHECK(circuit.n_qubits() == n_, "circuit width != simulator width");
+  execute(circuit);
+}
+
+StateVector ShmemSim::state() const {
+  StateVector sv(n_);
+  const IdxType per_pe = pow2(lg_part_);
+  for (int pe = 0; pe < n_pes_; ++pe) {
+    const ValType* r = real_sym_[static_cast<std::size_t>(pe)];
+    const ValType* i = imag_sym_[static_cast<std::size_t>(pe)];
+    const IdxType base = static_cast<IdxType>(pe) * per_pe;
+    for (IdxType k = 0; k < per_pe; ++k) {
+      sv.amps[static_cast<std::size_t>(base + k)] = Complex{r[k], i[k]};
+    }
+  }
+  return sv;
+}
+
+void ShmemSim::load_state(const StateVector& sv) {
+  SVSIM_CHECK(sv.n_qubits == n_, "state width mismatch");
+  const IdxType per_pe = pow2(lg_part_);
+  for (int pe = 0; pe < n_pes_; ++pe) {
+    ValType* r = real_sym_[static_cast<std::size_t>(pe)];
+    ValType* i = imag_sym_[static_cast<std::size_t>(pe)];
+    const IdxType base = static_cast<IdxType>(pe) * per_pe;
+    for (IdxType k = 0; k < per_pe; ++k) {
+      r[k] = sv.amps[static_cast<std::size_t>(base + k)].real();
+      i[k] = sv.amps[static_cast<std::size_t>(base + k)].imag();
+    }
+  }
+}
+
+std::vector<IdxType> ShmemSim::sample(IdxType shots) {
+  results_.assign(static_cast<std::size_t>(shots), 0);
+  mctx_.results = results_.data();
+  mctx_.n_shots = shots;
+  Circuit c(n_);
+  c.measure_all();
+  execute(c);
+  mctx_.results = nullptr;
+  mctx_.n_shots = 0;
+  return results_;
+}
+
+} // namespace svsim

@@ -1,0 +1,67 @@
+// ShmemSim: multi-node scale-out backend (§3.2.3, Listing 5).
+//
+// Each SHMEM processing element owns one simulator partition: the state
+// vector is allocated in the symmetric heap (nvshmem_malloc), partitioned
+// evenly by natural array order, and every amplitude access from a gate
+// kernel is a one-sided fine-grained get/put ("double_g"/"double_p") with
+// a barrier_all after each gate. The PE team is provided by the
+// svsim::shmem runtime (DESIGN.md explains the substitution for
+// OpenSHMEM/NVSHMEM); traffic counters record the exact local/remote
+// communication volume the machine model prices for Figures 12-13.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/dispatch.hpp"
+#include "core/simulator.hpp"
+#include "core/space.hpp"
+#include "shmem/shmem.hpp"
+
+namespace svsim {
+
+class ShmemSim final : public Simulator {
+public:
+  /// `heap_bytes` is the per-PE symmetric heap size; the default fits the
+  /// partition of a state vector up to 2^26 amplitudes on 1 PE.
+  ShmemSim(IdxType n_qubits, int n_pes, SimConfig cfg = {},
+           std::size_t heap_bytes = 0);
+
+  const char* name() const override { return "shmem"; }
+  IdxType n_qubits() const override { return n_; }
+  int n_pes() const { return n_pes_; }
+  void reset_state() override;
+  void run(const Circuit& circuit) override;
+  StateVector state() const override;
+  void load_state(const StateVector& sv) override;
+  const std::vector<IdxType>& cbits() const override { return cbits_; }
+  std::vector<IdxType> sample(IdxType shots) override;
+
+  /// Aggregate one-sided traffic of the last run() across PEs.
+  shmem::TrafficStats traffic() const { return last_traffic_; }
+
+private:
+  void execute(const Circuit& circuit);
+
+  IdxType n_;
+  IdxType dim_;
+  int n_pes_;
+  IdxType lg_part_;
+  SimConfig cfg_;
+
+  shmem::Runtime runtime_;
+  // Per-PE pointers into the symmetric allocation (valid for the lifetime
+  // of the runtime arenas; allocated once in the constructor).
+  std::vector<ValType*> real_sym_;
+  std::vector<ValType*> imag_sym_;
+
+  std::vector<IdxType> cbits_;
+  std::vector<IdxType> results_;
+  MeasureCtx mctx_;
+  std::vector<Rng> rngs_; // per-PE replicas, same seed
+  shmem::TrafficStats last_traffic_;
+};
+
+} // namespace svsim

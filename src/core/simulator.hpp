@@ -1,0 +1,61 @@
+// Simulator: the backend-neutral public interface.
+//
+// All five backends implement it:
+//   SingleSim      — one device (scalar or SIMD kernels)
+//   PeerSim        — single-node scale-up over the peer pointer array
+//   ShmemSim       — multi-node scale-out over the SHMEM runtime
+//   GeneralizedSim — generic-matrix baseline (Aer/qsim-style, Fig 14)
+//   CoarseMsgSim   — MPI-style coarse-grained message-passing baseline
+// so every test, example, bench and VQA driver is backend-agnostic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/state_vector.hpp"
+#include "ir/circuit.hpp"
+
+namespace svsim {
+
+class Simulator {
+public:
+  virtual ~Simulator() = default;
+
+  virtual const char* name() const = 0;
+  virtual IdxType n_qubits() const = 0;
+
+  /// Return the register to |0...0> and clear classical bits.
+  virtual void reset_state() = 0;
+
+  /// Execute all gates of `circuit` against the current state.
+  /// May be called repeatedly (the VQA iteration pattern).
+  virtual void run(const Circuit& circuit) = 0;
+
+  /// Gather the full state into host memory.
+  virtual StateVector state() const = 0;
+
+  /// Load an arbitrary state (must be normalized to the usual tolerance;
+  /// width must match). Supported by every backend — used to resume work,
+  /// inject prepared states, and by the kernel-vs-reference tests.
+  virtual void load_state(const StateVector& sv) = 0;
+
+  /// Classical register contents after the last run().
+  virtual const std::vector<IdxType>& cbits() const = 0;
+
+  /// Sample `shots` basis-state outcomes from the current state without
+  /// collapsing it (the paper's measure-all path).
+  virtual std::vector<IdxType> sample(IdxType shots) = 0;
+
+  // --- convenience built on the virtual surface ---
+
+  std::vector<ValType> probabilities() const { return state().probabilities(); }
+  ValType prob_of_qubit(IdxType q) const { return state().prob_of_qubit(q); }
+
+  /// reset_state + run: the one-shot evaluation used per VQA iteration.
+  void run_fresh(const Circuit& circuit) {
+    reset_state();
+    run(circuit);
+  }
+};
+
+} // namespace svsim

@@ -1,0 +1,74 @@
+#include "core/single_sim.hpp"
+
+namespace svsim {
+
+SingleSim::SingleSim(IdxType n_qubits, SimConfig cfg)
+    : n_(n_qubits),
+      dim_(pow2(n_qubits)),
+      cfg_(cfg),
+      real_(static_cast<std::size_t>(dim_)),
+      imag_(static_cast<std::size_t>(dim_)),
+      cbits_(static_cast<std::size_t>(n_qubits), 0),
+      rng_(cfg.seed),
+      table_(&local_kernel_table(cfg.simd)) {
+  SVSIM_CHECK(cfg.simd <= max_simd_level(),
+              "requested SIMD level not supported by this CPU/build");
+  real_[0] = 1.0; // |0...0>
+  mctx_.cbits = cbits_.data();
+}
+
+void SingleSim::reset_state() {
+  real_.zero();
+  imag_.zero();
+  real_[0] = 1.0;
+  std::fill(cbits_.begin(), cbits_.end(), 0);
+  rng_.reseed(cfg_.seed);
+}
+
+LocalSpace SingleSim::make_space() {
+  LocalSpace sp;
+  sp.real = real_.data();
+  sp.imag = imag_.data();
+  sp.dim = dim_;
+  sp.mctx = &mctx_;
+  sp.rng = &rng_;
+  return sp;
+}
+
+void SingleSim::run(const Circuit& circuit) {
+  SVSIM_CHECK(circuit.n_qubits() == n_, "circuit width != simulator width");
+  const auto device_circuit = upload_circuit<LocalSpace>(circuit, *table_);
+  const LocalSpace sp = make_space();
+  simulation_kernel(device_circuit, sp);
+}
+
+StateVector SingleSim::state() const {
+  StateVector sv(n_);
+  for (IdxType k = 0; k < dim_; ++k) {
+    sv.amps[static_cast<std::size_t>(k)] = Complex{real_[static_cast<std::size_t>(k)],
+                                                   imag_[static_cast<std::size_t>(k)]};
+  }
+  return sv;
+}
+
+void SingleSim::load_state(const StateVector& sv) {
+  SVSIM_CHECK(sv.n_qubits == n_, "state width mismatch");
+  for (IdxType k = 0; k < dim_; ++k) {
+    real_[static_cast<std::size_t>(k)] = sv.amps[static_cast<std::size_t>(k)].real();
+    imag_[static_cast<std::size_t>(k)] = sv.amps[static_cast<std::size_t>(k)].imag();
+  }
+}
+
+std::vector<IdxType> SingleSim::sample(IdxType shots) {
+  results_.assign(static_cast<std::size_t>(shots), 0);
+  mctx_.results = results_.data();
+  mctx_.n_shots = shots;
+  Circuit c(n_);
+  c.measure_all();
+  run(c);
+  mctx_.results = nullptr;
+  mctx_.n_shots = 0;
+  return results_;
+}
+
+} // namespace svsim

@@ -1,0 +1,59 @@
+// SingleSim: the single-device backend (§3.2.1).
+//
+// Homogeneous execution: the whole circuit runs as one simulation-kernel
+// loop of preloaded function pointers; specialized kernels per gate; and
+// optionally the architecture-specialized AVX2/AVX-512 kernel table
+// (Listing 2) selected at construction.
+#pragma once
+
+#include "common/aligned.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/dispatch.hpp"
+#include "core/simulator.hpp"
+#include "core/space.hpp"
+
+namespace svsim {
+
+/// Kernel table for LocalSpace at a given SIMD level: the scalar table
+/// with vectorized entries patched in where an implementation exists
+/// (defined in simd_kernels.cpp).
+const KernelTable<LocalSpace>::Table& local_kernel_table(SimdLevel level);
+
+class SingleSim final : public Simulator {
+public:
+  explicit SingleSim(IdxType n_qubits, SimConfig cfg = {});
+
+  const char* name() const override { return "single"; }
+  IdxType n_qubits() const override { return n_; }
+  void reset_state() override;
+  void run(const Circuit& circuit) override;
+  StateVector state() const override;
+  void load_state(const StateVector& sv) override;
+  const std::vector<IdxType>& cbits() const override { return cbits_; }
+  std::vector<IdxType> sample(IdxType shots) override;
+
+  /// Direct (mutable) access to the amplitude arrays — used by tests that
+  /// prepare arbitrary states and by the micro-benchmarks.
+  ValType* real() { return real_.data(); }
+  ValType* imag() { return imag_.data(); }
+  IdxType dim() const { return dim_; }
+
+  SimdLevel simd_level() const { return cfg_.simd; }
+
+private:
+  LocalSpace make_space();
+
+  IdxType n_;
+  IdxType dim_;
+  SimConfig cfg_;
+  AlignedBuffer<ValType> real_;
+  AlignedBuffer<ValType> imag_;
+  std::vector<IdxType> cbits_;
+  std::vector<IdxType> results_;
+  MeasureCtx mctx_;
+  Rng rng_;
+  const KernelTable<LocalSpace>::Table* table_; // preloaded at construction
+};
+
+} // namespace svsim

@@ -1,0 +1,169 @@
+// Address-space policies: the one abstraction that turns a single kernel
+// source into the paper's three deployment tiers.
+//
+//  * LocalSpace  — single device: raw pointers into one partition
+//                  (§3.2.1, Listing 3's scalar loop body).
+//  * PeerSpace   — single-node scale-up: the state vector is partitioned
+//                  across devices and remote partitions are reached through
+//                  a shared pointer array, exactly the GPUDirect peer-access
+//                  construction of Listing 4 (pos / sv_num_per_dev selects
+//                  the owner, pos % sv_num_per_dev the local offset).
+//  * ShmemSpace  — multi-node scale-out: the state vector lives in the
+//                  SHMEM symmetric heap and every element access is a
+//                  one-sided get/put, exactly Listing 5's
+//                  nvshmem_double_g / nvshmem_double_p pattern.
+//
+// Besides element access, the policy carries the small SPMD protocol the
+// non-unitary kernels (measure/reset) need: worker identity, a barrier, a
+// sum-reduction, and a collective uniform draw that returns the same value
+// on every worker (each worker holds a replica of the same-seeded RNG and
+// advances it only inside collective draws, so the replicas stay in
+// lockstep).
+#pragma once
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "shmem/barrier.hpp"
+#include "shmem/shmem.hpp"
+
+namespace svsim {
+
+/// Shared mutable context for measurement-style kernels. One instance per
+/// simulator; all workers see the same object.
+struct MeasureCtx {
+  IdxType* cbits = nullptr;      // classical register (size n_cbits)
+  IdxType* results = nullptr;    // MA shot outcomes (size n_shots)
+  IdxType n_shots = 0;
+};
+
+// ---------------------------------------------------------------------------
+// LocalSpace: one device owns the full state vector.
+// ---------------------------------------------------------------------------
+struct LocalSpace {
+  ValType* real = nullptr;
+  ValType* imag = nullptr;
+  IdxType dim = 0; // 2^n amplitudes
+  MeasureCtx* mctx = nullptr;
+  Rng* rng = nullptr;
+
+  // --- element access ---
+  ValType get_real(IdxType i) const { return real[i]; }
+  ValType get_imag(IdxType i) const { return imag[i]; }
+  void set_real(IdxType i, ValType v) const { real[i] = v; }
+  void set_imag(IdxType i, ValType v) const { imag[i] = v; }
+
+  // --- SPMD protocol (degenerate: one worker) ---
+  int worker() const { return 0; }
+  int n_workers() const { return 1; }
+  void sync() const {}
+  ValType reduce_sum(ValType v) const { return v; }
+  ValType collective_uniform() const { return rng->next_double(); }
+};
+
+/// Per-device communication counters for the peer tier (local vs
+/// remote-partition element accesses through the pointer array).
+struct PeerTraffic {
+  std::uint64_t local_access = 0;
+  std::uint64_t remote_access = 0;
+};
+
+// ---------------------------------------------------------------------------
+// PeerSpace: partitions behind a shared pointer array (Listing 4).
+// ---------------------------------------------------------------------------
+struct PeerSpace {
+  ValType* const* real_parts = nullptr; // pointer array, one per device
+  ValType* const* imag_parts = nullptr;
+  IdxType lg_part = 0; // log2(amplitudes per device)
+  IdxType dim = 0;
+  MeasureCtx* mctx = nullptr;
+  Rng* rng = nullptr; // per-worker replica, same seed on every worker
+
+  int worker_id = 0;
+  int num_workers = 1;
+  shmem::Barrier* barrier = nullptr;  // device "grid.sync()"
+  ValType* scratch = nullptr;         // n_workers slots for reductions
+  PeerTraffic* traffic = nullptr;     // this worker's counters (optional)
+
+  IdxType part_mask() const { return pow2(lg_part) - 1; }
+
+  void count(IdxType i) const {
+    if (traffic != nullptr) {
+      if ((i >> lg_part) == worker_id) {
+        ++traffic->local_access;
+      } else {
+        ++traffic->remote_access;
+      }
+    }
+  }
+
+  ValType get_real(IdxType i) const {
+    count(i);
+    return real_parts[i >> lg_part][i & part_mask()];
+  }
+  ValType get_imag(IdxType i) const {
+    count(i);
+    return imag_parts[i >> lg_part][i & part_mask()];
+  }
+  void set_real(IdxType i, ValType v) const {
+    count(i);
+    real_parts[i >> lg_part][i & part_mask()] = v;
+  }
+  void set_imag(IdxType i, ValType v) const {
+    count(i);
+    imag_parts[i >> lg_part][i & part_mask()] = v;
+  }
+
+  int worker() const { return worker_id; }
+  int n_workers() const { return num_workers; }
+  void sync() const { barrier->arrive_and_wait(); }
+
+  ValType reduce_sum(ValType v) const {
+    scratch[worker_id] = v;
+    sync();
+    ValType total = 0;
+    for (int w = 0; w < num_workers; ++w) total += scratch[w];
+    sync(); // scratch reusable afterwards
+    return total;
+  }
+
+  ValType collective_uniform() const { return rng->next_double(); }
+};
+
+// ---------------------------------------------------------------------------
+// ShmemSpace: symmetric-heap partitions behind one-sided get/put
+// (Listing 5).
+// ---------------------------------------------------------------------------
+struct ShmemSpace {
+  shmem::Ctx* ctx = nullptr;
+  ValType* real_sym = nullptr; // my partition of the symmetric allocation
+  ValType* imag_sym = nullptr;
+  IdxType lg_part = 0; // log2(amplitudes per PE)
+  IdxType dim = 0;
+  MeasureCtx* mctx = nullptr;
+  Rng* rng = nullptr; // per-PE replica, same seed on every PE
+
+  IdxType part_mask() const { return pow2(lg_part) - 1; }
+  int owner(IdxType i) const { return static_cast<int>(i >> lg_part); }
+
+  ValType get_real(IdxType i) const {
+    return ctx->g(real_sym + (i & part_mask()), owner(i));
+  }
+  ValType get_imag(IdxType i) const {
+    return ctx->g(imag_sym + (i & part_mask()), owner(i));
+  }
+  void set_real(IdxType i, ValType v) const {
+    ctx->p(real_sym + (i & part_mask()), v, owner(i));
+  }
+  void set_imag(IdxType i, ValType v) const {
+    ctx->p(imag_sym + (i & part_mask()), v, owner(i));
+  }
+
+  int worker() const { return ctx->pe(); }
+  int n_workers() const { return ctx->n_pes(); }
+  void sync() const { ctx->barrier_all(); }
+  ValType reduce_sum(ValType v) const { return ctx->all_reduce_sum(v); }
+  ValType collective_uniform() const { return rng->next_double(); }
+};
+
+} // namespace svsim

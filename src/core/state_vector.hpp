@@ -1,0 +1,77 @@
+// StateVector: a host-side snapshot of simulator amplitudes, plus the
+// analysis helpers tests, examples and the VQA layer use.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace svsim {
+
+struct StateVector {
+  IdxType n_qubits = 0;
+  std::vector<Complex> amps;
+
+  StateVector() = default;
+  explicit StateVector(IdxType n)
+      : n_qubits(n), amps(static_cast<std::size_t>(pow2(n))) {}
+
+  IdxType dim() const { return static_cast<IdxType>(amps.size()); }
+
+  /// Squared 2-norm; 1 for any valid quantum state.
+  ValType norm() const {
+    ValType s = 0;
+    for (const Complex& a : amps) s += std::norm(a);
+    return s;
+  }
+
+  /// |amp_k|^2 for every basis state.
+  std::vector<ValType> probabilities() const {
+    std::vector<ValType> p(amps.size());
+    for (std::size_t k = 0; k < amps.size(); ++k) p[k] = std::norm(amps[k]);
+    return p;
+  }
+
+  ValType prob_of(IdxType basis) const {
+    SVSIM_CHECK(basis >= 0 && basis < dim(), "basis index out of range");
+    return std::norm(amps[static_cast<std::size_t>(basis)]);
+  }
+
+  /// Marginal probability of measuring |1> on qubit q.
+  ValType prob_of_qubit(IdxType q) const {
+    SVSIM_CHECK(q >= 0 && q < n_qubits, "qubit out of range");
+    ValType p = 0;
+    for (IdxType k = 0; k < dim(); ++k) {
+      if (qubit_set(k, q)) p += std::norm(amps[static_cast<std::size_t>(k)]);
+    }
+    return p;
+  }
+
+  /// |<this|other>| — 1 iff the states are equal up to global phase.
+  ValType fidelity(const StateVector& other) const {
+    SVSIM_CHECK(n_qubits == other.n_qubits, "qubit counts differ");
+    Complex ip = 0;
+    for (std::size_t k = 0; k < amps.size(); ++k) {
+      ip += std::conj(amps[k]) * other.amps[k];
+    }
+    return std::abs(ip);
+  }
+
+  /// Max |amp_a - amp_b| — exact (phase-sensitive) comparison.
+  ValType max_diff(const StateVector& other) const {
+    SVSIM_CHECK(n_qubits == other.n_qubits, "qubit counts differ");
+    ValType m = 0;
+    for (std::size_t k = 0; k < amps.size(); ++k) {
+      const ValType d = std::abs(amps[k] - other.amps[k]);
+      if (d > m) m = d;
+    }
+    return m;
+  }
+};
+
+} // namespace svsim

@@ -1,0 +1,118 @@
+#include "ir/controlled.hpp"
+
+#include <cmath>
+
+#include "ir/fusion.hpp"
+
+namespace svsim {
+
+Mat2 sqrt_unitary(const Mat2& u) {
+  SVSIM_CHECK(is_unitary(u, 1e-8), "sqrt_unitary: input is not unitary");
+  const Complex tr = u[0] + u[3];
+  const Complex det = u[0] * u[3] - u[1] * u[2];
+  const Complex disc = std::sqrt(tr * tr - 4.0 * det);
+  const Complex l1 = (tr + disc) / 2.0;
+  const Complex l2 = (tr - disc) / 2.0;
+
+  if (std::abs(l1 - l2) < 1e-12) {
+    // U = l * I (the only normal 2x2 with a double eigenvalue that is
+    // unitary at this tolerance).
+    const Complex s = std::sqrt(l1);
+    return {s * u[0] / l1, s * u[1] / l1, s * u[2] / l1, s * u[3] / l1};
+  }
+
+  // Spectral projectors: P1 = (U - l2 I)/(l1 - l2), P2 = I - P1.
+  const Complex denom = l1 - l2;
+  Mat2 p1 = {(u[0] - l2) / denom, u[1] / denom, u[2] / denom,
+             (u[3] - l2) / denom};
+  const Complex s1 = std::sqrt(l1);
+  const Complex s2 = std::sqrt(l2);
+  Mat2 r;
+  r[0] = s1 * p1[0] + s2 * (Complex{1, 0} - p1[0]);
+  r[1] = s1 * p1[1] - s2 * p1[1];
+  r[2] = s1 * p1[2] - s2 * p1[2];
+  r[3] = s1 * p1[3] + s2 * (Complex{1, 0} - p1[3]);
+  return r;
+}
+
+namespace {
+
+/// gamma such that u == e^{i gamma} * matrix_1q(u3_from_matrix(u)).
+ValType global_phase_of(const Mat2& u, const Gate& g) {
+  const Complex det = u[0] * u[3] - u[1] * u[2];
+  ValType gamma =
+      0.5 * (std::arg(det) - std::remainder(g.phi + g.lam, 2 * PI));
+  // gamma is only determined mod pi by the determinant; fix the branch by
+  // direct comparison.
+  Mat2 test = matrix_1q(g);
+  const Complex phase = std::exp(Complex{0, gamma});
+  for (auto& e : test) e *= phase;
+  if (mat_distance(test, u) > 1e-8) gamma += PI;
+  return gamma;
+}
+
+} // namespace
+
+void append_controlled_unitary(Circuit& c, const Mat2& u, IdxType ctrl,
+                               IdxType target) {
+  SVSIM_CHECK(is_unitary(u, 1e-8), "controlled unitary: input not unitary");
+  // U = e^{i gamma} * u3(theta, phi, lam); the controlled version re-emits
+  // gamma as a phase on the control.
+  const Gate g = u3_from_matrix(u, target);
+  const ValType gamma = global_phase_of(u, g);
+  if (std::abs(std::remainder(gamma, 2 * PI)) > 1e-12) {
+    c.u1(gamma, ctrl);
+  }
+  c.cu3(g.theta, g.phi, g.lam, ctrl, target);
+}
+
+void append_multi_controlled_unitary(Circuit& c, const Mat2& u,
+                                     const std::vector<IdxType>& ctrls,
+                                     IdxType target) {
+  if (ctrls.empty()) {
+    // Unconditional global phase is unobservable; u3 suffices.
+    c.append(u3_from_matrix(u, target));
+    return;
+  }
+  if (ctrls.size() == 1) {
+    append_controlled_unitary(c, u, ctrls[0], target);
+    return;
+  }
+  SVSIM_CHECK(ctrls.size() <= 8,
+              "multi-controlled unitary limited to 8 controls (3^k growth)");
+  // Barenco: with V = sqrt(U) and c_last the final control:
+  //   C(V)[c_last, t]; C^{k-1}(X)[rest, c_last]; C(V^dag)[c_last, t];
+  //   C^{k-1}(X)[rest, c_last]; C^{k-1}(V)[rest, t].
+  const Mat2 v = sqrt_unitary(u);
+  const Mat2 v_dag = adjoint(v);
+  const IdxType c_last = ctrls.back();
+  const std::vector<IdxType> rest(ctrls.begin(), ctrls.end() - 1);
+
+  append_controlled_unitary(c, v, c_last, target);
+  append_multi_controlled_x(c, rest, c_last);
+  append_controlled_unitary(c, v_dag, c_last, target);
+  append_multi_controlled_x(c, rest, c_last);
+  append_multi_controlled_unitary(c, v, rest, target);
+}
+
+void append_multi_controlled_x(Circuit& c,
+                               const std::vector<IdxType>& ctrls,
+                               IdxType target) {
+  switch (ctrls.size()) {
+    case 0: c.x(target); return;
+    case 1: c.cx(ctrls[0], target); return;
+    case 2: c.ccx(ctrls[0], ctrls[1], target); return;
+    case 3: c.c3x(ctrls[0], ctrls[1], ctrls[2], target); return;
+    case 4:
+      c.c4x(ctrls[0], ctrls[1], ctrls[2], ctrls[3], target);
+      return;
+    default: {
+      // Recurse through the generic construction with U = X.
+      const Mat2 x = matrix_1q(make_gate(OP::X, 0));
+      append_multi_controlled_unitary(c, x, ctrls, target);
+      return;
+    }
+  }
+}
+
+} // namespace svsim

@@ -1,0 +1,45 @@
+// Controlled arbitrary single-qubit unitaries, including multi-controlled
+// forms via the ancilla-free Barenco recursion.
+//
+// The QIR-runtime gate set (Table 2) allows any number of controls on its
+// Controlled* operations; these helpers lower C^k(U) for arbitrary 2x2
+// unitary U into the kernel gate set exactly (global/relative phases
+// included — a controlled gate's "global" phase is observable).
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/matrices.hpp"
+
+namespace svsim {
+
+/// Principal square root of a 2x2 unitary (sqrt(U)^2 == U; the result is
+/// unitary).
+Mat2 sqrt_unitary(const Mat2& u);
+
+/// Append gates realizing controlled-U exactly: the phase-corrected
+/// cu3 + u1 construction (u3_from_matrix recovers U up to a global phase
+/// e^{i gamma}; the controlled version re-applies gamma as u1 on the
+/// control).
+void append_controlled_unitary(Circuit& c, const Mat2& u, IdxType ctrl,
+                               IdxType target);
+
+/// Append gates realizing C^k(U) for k >= 0 controls, ancilla-free:
+///   k=0: U itself; k=1: controlled-U; k>=2 (Barenco):
+///   C^k(U) = C(V)[c_last->t] C^{k-1}(X) C(V^dag)[c_last->t]
+///            C^{k-1}(X) C^{k-1}(V)[rest->t],  V = sqrt(U).
+/// Gate count grows ~3^k; intended for the small control counts QIR
+/// programs use (<= 6 or so).
+void append_multi_controlled_unitary(Circuit& c, const Mat2& u,
+                                     const std::vector<IdxType>& ctrls,
+                                     IdxType target);
+
+/// Multi-controlled X via the same recursion (used when no work qubits
+/// are available; with ancillas prefer the Toffoli cascade in
+/// circuits/qasmbench.cpp).
+void append_multi_controlled_x(Circuit& c,
+                               const std::vector<IdxType>& ctrls,
+                               IdxType target);
+
+} // namespace svsim

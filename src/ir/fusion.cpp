@@ -1,0 +1,174 @@
+#include "ir/fusion.hpp"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+namespace svsim {
+
+namespace {
+
+const Mat2 kId2 = {Complex{1, 0}, Complex{0, 0}, Complex{0, 0},
+                   Complex{1, 0}};
+
+bool is_identity_up_to_phase(const Mat2& m) {
+  return mat_distance(m, kId2, /*up_to_phase=*/true) < 1e-12;
+}
+
+/// True if g2 undoes g1 (same operands, mutually inverse parameters).
+bool is_inverse_pair(const Gate& g1, const Gate& g2) {
+  if (g1.op != g2.op || g1.qb0 != g2.qb0 || g1.qb1 != g2.qb1) return false;
+  switch (g1.op) {
+    case OP::CX:
+    case OP::CZ:
+    case OP::CY:
+    case OP::CH:
+    case OP::SWAP:
+      return true; // self-inverse
+    case OP::CRX:
+    case OP::CRY:
+    case OP::CRZ:
+    case OP::CU1:
+    case OP::RXX:
+    case OP::RZZ:
+      return g1.theta == -g2.theta;
+    case OP::CU3:
+      return g1.theta == -g2.theta && g1.phi == -g2.lam &&
+             g1.lam == -g2.phi;
+    default:
+      return false;
+  }
+}
+
+/// A run of 1-qubit gates pending on one qubit.
+struct Pending {
+  Mat2 m = kId2;
+  int count = 0;
+  Gate first; // emitted verbatim when the run has length 1
+};
+
+} // namespace
+
+Gate u3_from_matrix(const Mat2& u, IdxType qubit) {
+  SVSIM_CHECK(is_unitary(u, 1e-8), "u3_from_matrix: input is not unitary");
+  const ValType a00 = std::abs(u[0]);
+  const ValType a10 = std::abs(u[2]);
+  const ValType theta = 2.0 * std::atan2(a10, a00);
+
+  ValType phi = 0, lam = 0;
+  if (a00 > 1e-12 && a10 > 1e-12) {
+    // Strip the global phase so u00 becomes real positive.
+    const Complex g = std::conj(u[0]) / a00;
+    phi = std::arg(g * u[2]);
+    lam = std::arg(-g * u[1]);
+  } else if (a00 > 1e-12) {
+    // theta ~ 0: diagonal. u3(0, phi, lam) = diag(1, e^{i(phi+lam)}).
+    const Complex g = std::conj(u[0]) / a00;
+    phi = 0;
+    lam = std::arg(g * u[3]);
+  } else {
+    // theta ~ pi: anti-diagonal. u3(pi, phi, lam) = [[0,-e^{il}],[e^{ip},0]].
+    const Complex g = std::conj(u[2]) / a10;
+    phi = 0;
+    lam = std::arg(-g * u[1]);
+  }
+
+  Gate g = make_gate(OP::U3, qubit);
+  g.theta = theta;
+  g.phi = phi;
+  g.lam = lam;
+  return g;
+}
+
+Circuit fuse_gates(const Circuit& in, FusionStats* stats) {
+  FusionStats local;
+  local.gates_before = in.n_gates();
+
+  const IdxType n = in.n_qubits();
+  std::vector<std::optional<Pending>> pending(static_cast<std::size_t>(n));
+  std::vector<Gate> out;
+  out.reserve(in.gates().size());
+  std::vector<bool> alive;
+  alive.reserve(in.gates().size());
+  // Index into `out` of the last emitted gate touching each qubit; -1
+  // blocks 2-qubit cancellation across it.
+  std::vector<long> last2q(static_cast<std::size_t>(n), -1);
+
+  auto emit = [&](const Gate& g) -> long {
+    out.push_back(g);
+    alive.push_back(true);
+    return static_cast<long>(out.size()) - 1;
+  };
+
+  auto flush = [&](IdxType q) {
+    auto& p = pending[static_cast<std::size_t>(q)];
+    if (!p.has_value()) return;
+    if (is_identity_up_to_phase(p->m)) {
+      local.dropped_identity += p->count;
+    } else if (p->count == 1) {
+      last2q[static_cast<std::size_t>(q)] = emit(p->first);
+    } else {
+      local.fused_1q += p->count;
+      last2q[static_cast<std::size_t>(q)] = emit(u3_from_matrix(p->m, q));
+    }
+    p.reset();
+  };
+
+  auto flush_all = [&] {
+    for (IdxType q = 0; q < n; ++q) flush(q);
+  };
+
+  for (const Gate& g : in.gates()) {
+    const OpInfo& info = op_info(g.op);
+    if (!is_unitary_op(g.op)) {
+      // Barrier / measure / reset: hard boundary for both fusion and
+      // cancellation.
+      flush_all();
+      std::fill(last2q.begin(), last2q.end(), -1);
+      emit(g);
+      continue;
+    }
+    if (info.n_qubits == 1) {
+      if (g.op == OP::ID) {
+        ++local.dropped_identity;
+        continue;
+      }
+      auto& p = pending[static_cast<std::size_t>(g.qb0)];
+      if (!p.has_value()) {
+        p = Pending{};
+        p->first = g;
+      }
+      p->m = matmul(matrix_1q(g), p->m); // later gates multiply on the left
+      ++p->count;
+      continue;
+    }
+    // 2-qubit unitary.
+    flush(g.qb0);
+    flush(g.qb1);
+    const long ka = last2q[static_cast<std::size_t>(g.qb0)];
+    const long kb = last2q[static_cast<std::size_t>(g.qb1)];
+    if (ka >= 0 && ka == kb && alive[static_cast<std::size_t>(ka)] &&
+        is_inverse_pair(out[static_cast<std::size_t>(ka)], g)) {
+      alive[static_cast<std::size_t>(ka)] = false;
+      local.cancelled_2q += 2;
+      // Conservative: block further cancellation through this site.
+      last2q[static_cast<std::size_t>(g.qb0)] = -1;
+      last2q[static_cast<std::size_t>(g.qb1)] = -1;
+      continue;
+    }
+    const long idx = emit(g);
+    last2q[static_cast<std::size_t>(g.qb0)] = idx;
+    last2q[static_cast<std::size_t>(g.qb1)] = idx;
+  }
+  flush_all();
+
+  Circuit result(n, CompoundMode::kNative, in.n_cbits());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (alive[i]) result.append(out[i]);
+  }
+  local.gates_after = result.n_gates();
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+} // namespace svsim

@@ -1,0 +1,36 @@
+// Gate fusion / circuit optimization pass.
+//
+// The paper contrasts SV-Sim's specialized kernels with qsim's "gate
+// fusion" optimization (§6); this pass provides the complementary
+// transformation for SV-Sim circuits: runs of adjacent 1-qubit gates on
+// the same qubit collapse into a single u3 (via ZYZ resynthesis of the
+// accumulated 2x2), exact identities are dropped, and adjacent
+// mutually-inverse 2-qubit gates cancel (cx-cx, swap-swap, crz(t)-crz(-t),
+// ...). Deep QASMBench circuits shrink substantially (a decomposed QFT
+// loses its u1 chains into the neighbouring gates), which directly
+// reduces simulation time on every backend.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "ir/matrices.hpp"
+
+namespace svsim {
+
+struct FusionStats {
+  IdxType gates_before = 0;
+  IdxType gates_after = 0;
+  IdxType fused_1q = 0;      // 1q gates absorbed into u3s
+  IdxType cancelled_2q = 0;  // 2q gates removed by inverse cancellation
+  IdxType dropped_identity = 0;
+};
+
+/// Decompose a 2x2 unitary into u3(theta, phi, lam) up to global phase.
+/// Inverse of matrix_1q for OP::U3 (property-tested both ways).
+Gate u3_from_matrix(const Mat2& u, IdxType qubit);
+
+/// Fuse `in` as described above. The result is state-equivalent up to a
+/// global phase. Circuits containing measurement/reset are supported:
+/// fusion never moves a gate across a non-unitary operation or a barrier.
+Circuit fuse_gates(const Circuit& in, FusionStats* stats = nullptr);
+
+} // namespace svsim

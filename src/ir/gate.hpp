@@ -1,0 +1,63 @@
+// Gate: the circuit element conveyed from the frontend to the backends.
+//
+// Mirrors the paper's Listing 1: a small POD carrying the op kind, operand
+// qubits, rotation parameters, and a *kernel slot* filled in by the owning
+// backend at upload time (the "device functional pointer"). The frontend
+// never touches the slot; each backend copies the matching entry of its
+// preloaded dispatch table into it, so simulation executes the whole
+// circuit in one loop with an indirect call per gate — no switch on the op
+// kind, no virtual dispatch, no JIT.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "ir/op.hpp"
+
+namespace svsim {
+
+struct Gate {
+  OP op = OP::ID;
+  /// Operand qubits in OpenQASM argument order; -1 when unused. For
+  /// controlled gates qb0 is the control and the last used slot is the
+  /// target (cx control,target — as in Table 1).
+  IdxType qb0 = -1;
+  IdxType qb1 = -1;
+  IdxType qb2 = -1;
+  IdxType qb3 = -1;
+  IdxType qb4 = -1;
+  /// Rotation parameters (theta, phi, lambda) — U3 uses all three, U2 uses
+  /// (phi, lambda), single-parameter rotations use theta or lambda per the
+  /// OpenQASM definition.
+  ValType theta = 0;
+  ValType phi = 0;
+  ValType lam = 0;
+  /// Classical bit index for OP::M.
+  IdxType cbit = -1;
+
+  int n_qubits() const { return op_info(op).n_qubits; }
+
+  /// Human-readable form, e.g. "cu1(0.7853981) q[2],q[5]".
+  std::string str() const;
+};
+
+/// Build helpers (operand-count checked by Circuit when appended).
+inline Gate make_gate(OP op, IdxType q0 = -1, IdxType q1 = -1,
+                      IdxType q2 = -1, IdxType q3 = -1, IdxType q4 = -1) {
+  Gate g;
+  g.op = op;
+  g.qb0 = q0;
+  g.qb1 = q1;
+  g.qb2 = q2;
+  g.qb3 = q3;
+  g.qb4 = q4;
+  return g;
+}
+
+inline Gate make_gate1p(OP op, ValType p0, IdxType q0, IdxType q1 = -1) {
+  Gate g = make_gate(op, q0, q1);
+  g.theta = p0;
+  return g;
+}
+
+} // namespace svsim

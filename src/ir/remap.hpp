@@ -1,0 +1,39 @@
+// Communication-avoiding qubit remapping for partitioned execution.
+//
+// §6 of the paper describes the competing technique used by JUQCS and by
+// Li & Yuan: instead of paying remote traffic for every gate on a
+// high-order qubit, *swap* the hot logical qubit into the node-local
+// index range and keep executing locally. This pass implements that
+// transformation on top of SV-Sim's circuits so the two strategies can be
+// compared on the same backends (bench_ablation_remap): given a
+// partitioning with `local_bits` node-local index bits, it greedily
+// relocates logical qubits that are about to be used out of the remote
+// region, rewriting all operands through the evolving layout.
+//
+// The output is state-equivalent to the input up to the returned final
+// qubit permutation; restore_layout() appends the swaps that undo it.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace svsim {
+
+struct RemapResult {
+  Circuit circuit;                 // rewritten circuit (physical operands)
+  std::vector<IdxType> layout;     // layout[logical] = physical, at the end
+  IdxType swaps_inserted = 0;      // swap gates added
+};
+
+/// Remap `in` for a partitioning where physical qubits [0, local_bits)
+/// are node-local. `lookahead` bounds how far the pass scans to pick the
+/// eviction victim (the local qubit whose next use is farthest away).
+RemapResult remap_for_partition(const Circuit& in, IdxType local_bits,
+                                int lookahead = 64);
+
+/// Append swaps to `c` that return `layout` to the identity permutation
+/// (so the final state matches the unremapped circuit exactly).
+void restore_layout(Circuit& c, std::vector<IdxType> layout);
+
+} // namespace svsim

@@ -1,0 +1,45 @@
+// The Table 3 platform registry: one calibrated Platform per evaluation
+// machine. Parameters are *effective* model constants (see model.hpp);
+// the calibration targets are the qualitative regimes §4 reports:
+//
+//   Fig 6  — single core CPUs beat GPUs at n=11-12, GPUs ~10x ahead by
+//            n=13-15, AVX-512 ~2x on Intel/Phi, A100 ~ V100 (bandwidth
+//            bound), MI100 hurt by runtime gate dispatch;
+//   Fig 7  — Intel 8276M sweet spot at 16-32 cores, >128 cores degrade
+//            (QPI contention);
+//   Fig 8  — KNL sweet spot at 2-4 cores (2D-mesh contention);
+//   Fig 9-10 — V100/A100 NVSwitch strong scaling, small-n 1->2 lag;
+//   Fig 11 — MI100 modest linear scaling (compute-bound kernel);
+//   Fig 12 — Summit CPU OpenSHMEM: 32->64 drop (intra->inter node),
+//            <3x total from 32->1024;
+//   Fig 13 — Summit GPU NVSHMEM: strong scaling (network-bound).
+#pragma once
+
+#include <vector>
+
+#include "machine/model.hpp"
+
+namespace svsim::machine {
+
+// --- single-node platforms (Fig 6-11) ---
+const Platform& intel_xeon_8276m(); // AVX-512 CPU, 28 cores/socket, 8 sockets
+const Platform& amd_epyc_7742();    // Fig 6 baseline CPU
+const Platform& ibm_power9();       // Summit host CPU
+const Platform& xeon_phi_7230();    // Theta KNL node (64 cores, 2D mesh)
+const Platform& nvidia_v100_dgx2(); // 16x V100 + NVSwitch
+const Platform& nvidia_dgx_a100();  // 8x A100 + NVSwitch
+const Platform& amd_mi100();        // 4x MI100 + Infinity Fabric (HIP path)
+
+// --- multi-node platforms (Fig 12-13) ---
+const Platform& summit_cpu();       // Power9 PEs over OpenSHMEM/InfiniBand
+const Platform& summit_gpu();       // V100 PEs over NVSHMEM/InfiniBand
+
+/// All single-device platforms in the order Figure 6 plots them.
+struct Fig6Entry {
+  const Platform* platform;
+  bool simd;
+  const char* label;
+};
+const std::vector<Fig6Entry>& fig6_platforms();
+
+} // namespace svsim::machine

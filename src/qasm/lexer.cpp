@@ -1,0 +1,152 @@
+#include "qasm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace svsim::qasm {
+
+namespace {
+
+class Cursor {
+public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek() const { return done() ? '\0' : src_[pos_]; }
+  char peek2() const {
+    return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+
+  auto push = [&](Tok kind, std::string text, double num, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.num = num;
+    t.line = line;
+    t.col = col;
+    out.push_back(std::move(t));
+  };
+
+  while (!cur.done()) {
+    const int line = cur.line();
+    const int col = cur.col();
+    const char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Line comments.
+    if (c == '/' && cur.peek2() == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (!cur.done() &&
+             (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+              cur.peek() == '_')) {
+        ident += cur.advance();
+      }
+      push(Tok::kIdent, std::move(ident), 0, line, col);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek2())))) {
+      std::string num;
+      bool is_real = false;
+      while (!cur.done()) {
+        const char d = cur.peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          num += cur.advance();
+        } else if (d == '.') {
+          is_real = true;
+          num += cur.advance();
+        } else if (d == 'e' || d == 'E') {
+          is_real = true;
+          num += cur.advance();
+          if (cur.peek() == '+' || cur.peek() == '-') num += cur.advance();
+        } else {
+          break;
+        }
+      }
+      push(is_real ? Tok::kReal : Tok::kInt, num, std::strtod(num.c_str(), nullptr),
+           line, col);
+      continue;
+    }
+    if (c == '"') {
+      cur.advance();
+      std::string text;
+      while (!cur.done() && cur.peek() != '"') text += cur.advance();
+      if (cur.done()) throw ParseError("unterminated string", line, col);
+      cur.advance(); // closing quote
+      push(Tok::kString, std::move(text), 0, line, col);
+      continue;
+    }
+    cur.advance();
+    switch (c) {
+      case '{': push(Tok::kLBrace, "{", 0, line, col); break;
+      case '}': push(Tok::kRBrace, "}", 0, line, col); break;
+      case '(': push(Tok::kLParen, "(", 0, line, col); break;
+      case ')': push(Tok::kRParen, ")", 0, line, col); break;
+      case '[': push(Tok::kLBracket, "[", 0, line, col); break;
+      case ']': push(Tok::kRBracket, "]", 0, line, col); break;
+      case ';': push(Tok::kSemi, ";", 0, line, col); break;
+      case ',': push(Tok::kComma, ",", 0, line, col); break;
+      case '+': push(Tok::kPlus, "+", 0, line, col); break;
+      case '*': push(Tok::kStar, "*", 0, line, col); break;
+      case '/': push(Tok::kSlash, "/", 0, line, col); break;
+      case '^': push(Tok::kCaret, "^", 0, line, col); break;
+      case '-':
+        if (cur.peek() == '>') {
+          cur.advance();
+          push(Tok::kArrow, "->", 0, line, col);
+        } else {
+          push(Tok::kMinus, "-", 0, line, col);
+        }
+        break;
+      case '=':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(Tok::kEq, "==", 0, line, col);
+        } else {
+          throw ParseError("unexpected '='", line, col);
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line, col);
+    }
+  }
+  push(Tok::kEof, "", 0, cur.line(), cur.col());
+  return out;
+}
+
+} // namespace svsim::qasm

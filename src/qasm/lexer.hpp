@@ -1,0 +1,60 @@
+// OpenQASM 2.0 lexer.
+//
+// Tokenizes the surface syntax the SV-Sim frontend accepts (§3.3.1): the
+// OPENQASM header, include directives, register declarations, gate
+// definitions, gate applications with parameter expressions, measure /
+// reset / barrier / if statements, and the arithmetic expression grammar
+// (pi, literals, identifiers, + - * / ^, parentheses, unary functions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace svsim::qasm {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords (resolved by the parser)
+  kReal,     // floating literal
+  kInt,      // integer literal
+  kLBrace,   // {
+  kRBrace,   // }
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kSemi,     // ;
+  kComma,    // ,
+  kArrow,    // ->
+  kEq,       // ==
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kCaret,
+  kString,   // "..."
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text; // identifier name / string contents
+  double num = 0;   // numeric value for kReal/kInt
+  int line = 0;
+  int col = 0;
+};
+
+/// Thrown with line/column context on any lexical or syntax error.
+class ParseError : public Error {
+public:
+  ParseError(const std::string& msg, int line, int col)
+      : Error("qasm:" + std::to_string(line) + ":" + std::to_string(col) +
+              ": " + msg) {}
+};
+
+/// Tokenize the whole source up front (OpenQASM files are small relative
+/// to the circuits they expand into).
+std::vector<Token> tokenize(const std::string& source);
+
+} // namespace svsim::qasm

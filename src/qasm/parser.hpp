@@ -1,0 +1,35 @@
+// OpenQASM 2.0 parser: text -> svsim::Circuit.
+//
+// Supports the language subset the QASMBench suite and the mainstream
+// frontends (Qiskit, Cirq, ProjectQ, ScaffCC) emit:
+//   * OPENQASM 2.0 header, include "qelib1.inc" (satisfied natively: every
+//     qelib1 gate is a builtin of the Circuit IR, Table 1);
+//   * qreg/creg declarations (multiple registers, flattened in declaration
+//     order into one qubit index space);
+//   * custom gate definitions (params + qargs, bodies of gate calls and
+//     barriers), expanded recursively at application;
+//   * gate application with full parameter expressions: literals, pi,
+//     parameters, + - * / ^, unary minus, sin/cos/tan/exp/ln/sqrt;
+//   * register broadcast (h q; cx q,r;), measure (single and register),
+//     reset, barrier, opaque (ignored).
+// Deliberately unsupported: `if (c==n)` conditionals (rejected with a
+// clear diagnostic; the IR models unconditional circuits, like SV-Sim).
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace svsim::qasm {
+
+/// Parse OpenQASM 2.0 source text. `mode` controls compound-gate lowering
+/// exactly as in the Circuit builder; kDecompose reproduces QASMBench gate
+/// counts.
+Circuit parse_qasm(const std::string& source,
+                   CompoundMode mode = CompoundMode::kDecompose);
+
+/// Convenience: read `path` and parse it.
+Circuit parse_qasm_file(const std::string& path,
+                        CompoundMode mode = CompoundMode::kDecompose);
+
+} // namespace svsim::qasm

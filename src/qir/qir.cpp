@@ -1,0 +1,253 @@
+#include "qir/qir.hpp"
+
+#include "core/single_sim.hpp"
+#include "ir/controlled.hpp"
+
+namespace svsim::qir {
+
+QirContext::QirContext(IdxType n_qubits, std::uint64_t seed)
+    : n_(n_qubits), buffer_(n_qubits) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  sim_ = std::make_unique<SingleSim>(n_qubits, cfg);
+}
+
+QirContext::QirContext(IdxType n_qubits,
+                       std::unique_ptr<Simulator> simulator)
+    : n_(n_qubits), sim_(std::move(simulator)), buffer_(n_qubits) {
+  SVSIM_CHECK(sim_ != nullptr && sim_->n_qubits() == n_qubits,
+              "QirContext: simulator width mismatch");
+}
+
+void QirContext::X(IdxType q) { buffer_.x(q); }
+void QirContext::Y(IdxType q) { buffer_.y(q); }
+void QirContext::Z(IdxType q) { buffer_.z(q); }
+void QirContext::H(IdxType q) { buffer_.h(q); }
+void QirContext::S(IdxType q) { buffer_.s(q); }
+void QirContext::T(IdxType q) { buffer_.t(q); }
+void QirContext::AdjointS(IdxType q) { buffer_.sdg(q); }
+void QirContext::AdjointT(IdxType q) { buffer_.tdg(q); }
+
+void QirContext::R(PauliAxis axis, ValType theta, IdxType q) {
+  switch (axis) {
+    case PauliAxis::I: return; // global phase
+    case PauliAxis::X: buffer_.rx(theta, q); return;
+    case PauliAxis::Y: buffer_.ry(theta, q); return;
+    case PauliAxis::Z: buffer_.rz(theta, q); return;
+  }
+}
+
+void QirContext::basis_in(PauliAxis p, IdxType q) {
+  if (p == PauliAxis::X) buffer_.h(q);
+  if (p == PauliAxis::Y) buffer_.rx(PI / 2, q);
+}
+
+void QirContext::basis_out(PauliAxis p, IdxType q) {
+  if (p == PauliAxis::X) buffer_.h(q);
+  if (p == PauliAxis::Y) buffer_.rx(-PI / 2, q);
+}
+
+void QirContext::Exp(const std::vector<PauliAxis>& paulis, ValType theta,
+                     const std::vector<IdxType>& qubits) {
+  SVSIM_CHECK(paulis.size() == qubits.size(), "Exp: operand size mismatch");
+  // Keep the non-identity support; identity factors drop out.
+  std::vector<std::pair<PauliAxis, IdxType>> sup;
+  for (std::size_t i = 0; i < paulis.size(); ++i) {
+    if (paulis[i] != PauliAxis::I) sup.emplace_back(paulis[i], qubits[i]);
+  }
+  if (sup.empty()) return; // pure global phase
+  for (const auto& [p, q] : sup) basis_in(p, q);
+  for (std::size_t i = 0; i + 1 < sup.size(); ++i) {
+    buffer_.cx(sup[i].second, sup[i + 1].second);
+  }
+  buffer_.rz(theta, sup.back().second);
+  for (std::size_t i = sup.size() - 1; i-- > 0;) {
+    buffer_.cx(sup[i].second, sup[i + 1].second);
+  }
+  for (const auto& [p, q] : sup) basis_out(p, q);
+}
+
+void QirContext::ControlledX(const std::vector<IdxType>& ctrls,
+                             IdxType target) {
+  switch (ctrls.size()) {
+    case 1: buffer_.cx(ctrls[0], target); return;
+    case 2: buffer_.ccx(ctrls[0], ctrls[1], target); return;
+    case 3: buffer_.c3x(ctrls[0], ctrls[1], ctrls[2], target); return;
+    case 4:
+      buffer_.c4x(ctrls[0], ctrls[1], ctrls[2], ctrls[3], target);
+      return;
+    default:
+      append_multi_controlled_x(buffer_, ctrls, target);
+      return;
+  }
+}
+
+void QirContext::ControlledY(const std::vector<IdxType>& ctrls,
+                             IdxType target) {
+  if (ctrls.size() == 1) {
+    buffer_.cy(ctrls[0], target);
+    return;
+  }
+  append_multi_controlled_unitary(buffer_, matrix_1q(make_gate(OP::Y, 0)),
+                                  ctrls, target);
+}
+
+void QirContext::ControlledZ(const std::vector<IdxType>& ctrls,
+                             IdxType target) {
+  if (ctrls.size() == 1) {
+    buffer_.cz(ctrls[0], target);
+    return;
+  }
+  if (ctrls.size() == 2) {
+    // CCZ = H(target) CCX H(target).
+    buffer_.h(target);
+    buffer_.ccx(ctrls[0], ctrls[1], target);
+    buffer_.h(target);
+    return;
+  }
+  append_multi_controlled_unitary(buffer_, matrix_1q(make_gate(OP::Z, 0)),
+                                  ctrls, target);
+}
+
+void QirContext::ControlledH(const std::vector<IdxType>& ctrls,
+                             IdxType target) {
+  if (ctrls.size() == 1) {
+    buffer_.ch(ctrls[0], target);
+    return;
+  }
+  append_multi_controlled_unitary(buffer_, matrix_1q(make_gate(OP::H, 0)),
+                                  ctrls, target);
+}
+
+void QirContext::ControlledS(const std::vector<IdxType>& ctrls,
+                             IdxType target) {
+  if (ctrls.size() == 1) {
+    buffer_.cu1(PI / 2, ctrls[0], target);
+    return;
+  }
+  Gate g = make_gate(OP::U1, 0);
+  g.theta = PI / 2;
+  append_multi_controlled_unitary(buffer_, matrix_1q(g), ctrls, target);
+}
+
+void QirContext::ControlledT(const std::vector<IdxType>& ctrls,
+                             IdxType target) {
+  if (ctrls.size() == 1) {
+    buffer_.cu1(PI / 4, ctrls[0], target);
+    return;
+  }
+  Gate g = make_gate(OP::U1, 0);
+  g.theta = PI / 4;
+  append_multi_controlled_unitary(buffer_, matrix_1q(g), ctrls, target);
+}
+
+void QirContext::ControlledAdjointS(const std::vector<IdxType>& ctrls,
+                                    IdxType target) {
+  if (ctrls.size() == 1) {
+    buffer_.cu1(-PI / 2, ctrls[0], target);
+    return;
+  }
+  Gate g = make_gate(OP::U1, 0);
+  g.theta = -PI / 2;
+  append_multi_controlled_unitary(buffer_, matrix_1q(g), ctrls, target);
+}
+
+void QirContext::ControlledAdjointT(const std::vector<IdxType>& ctrls,
+                                    IdxType target) {
+  if (ctrls.size() == 1) {
+    buffer_.cu1(-PI / 4, ctrls[0], target);
+    return;
+  }
+  Gate g = make_gate(OP::U1, 0);
+  g.theta = -PI / 4;
+  append_multi_controlled_unitary(buffer_, matrix_1q(g), ctrls, target);
+}
+
+void QirContext::ControlledR(const std::vector<IdxType>& ctrls,
+                             PauliAxis axis, ValType theta, IdxType target) {
+  SVSIM_CHECK(!ctrls.empty(), "ControlledR needs at least one control");
+  if (ctrls.size() == 1) {
+    switch (axis) {
+      case PauliAxis::I:
+        // Controlled global phase = phase on the control.
+        buffer_.u1(-theta / 2, ctrls[0]);
+        return;
+      case PauliAxis::X: buffer_.crx(theta, ctrls[0], target); return;
+      case PauliAxis::Y: buffer_.cry(theta, ctrls[0], target); return;
+      case PauliAxis::Z: buffer_.crz(theta, ctrls[0], target); return;
+    }
+    return;
+  }
+  OP op = OP::RZ;
+  if (axis == PauliAxis::X) op = OP::RX;
+  if (axis == PauliAxis::Y) op = OP::RY;
+  if (axis == PauliAxis::I) {
+    // C^k(phase): a multi-controlled u1(-theta/2) on the last control.
+    Gate g = make_gate(OP::U1, 0);
+    g.theta = -theta / 2;
+    const std::vector<IdxType> rest(ctrls.begin(), ctrls.end() - 1);
+    append_multi_controlled_unitary(buffer_, matrix_1q(g), rest,
+                                    ctrls.back());
+    return;
+  }
+  Gate g = make_gate(op, 0);
+  g.theta = theta;
+  append_multi_controlled_unitary(buffer_, matrix_1q(g), ctrls, target);
+}
+
+void QirContext::ControlledExp(const std::vector<IdxType>& ctrls,
+                               const std::vector<PauliAxis>& paulis,
+                               ValType theta,
+                               const std::vector<IdxType>& qubits) {
+  SVSIM_CHECK(ctrls.size() == 1, "ControlledExp supports one control");
+  SVSIM_CHECK(paulis.size() == qubits.size(),
+              "ControlledExp: operand size mismatch");
+  std::vector<std::pair<PauliAxis, IdxType>> sup;
+  for (std::size_t i = 0; i < paulis.size(); ++i) {
+    if (paulis[i] != PauliAxis::I) sup.emplace_back(paulis[i], qubits[i]);
+  }
+  if (sup.empty()) {
+    buffer_.u1(-theta / 2, ctrls[0]);
+    return;
+  }
+  // Same ladder as Exp, with the RZ promoted to CRZ off the control.
+  for (const auto& [p, q] : sup) basis_in(p, q);
+  for (std::size_t i = 0; i + 1 < sup.size(); ++i) {
+    buffer_.cx(sup[i].second, sup[i + 1].second);
+  }
+  buffer_.crz(theta, ctrls[0], sup.back().second);
+  for (std::size_t i = sup.size() - 1; i-- > 0;) {
+    buffer_.cx(sup[i].second, sup[i + 1].second);
+  }
+  for (const auto& [p, q] : sup) basis_out(p, q);
+}
+
+void QirContext::flush() {
+  if (buffer_.empty()) return;
+  sim_->run(buffer_);
+  buffer_.clear();
+}
+
+Result QirContext::M(IdxType q) {
+  buffer_.measure(q, q);
+  flush();
+  return sim_->cbits()[static_cast<std::size_t>(q)] == 1 ? Result::One
+                                                         : Result::Zero;
+}
+
+ValType QirContext::probability_of_one(IdxType q) {
+  flush();
+  return sim_->prob_of_qubit(q);
+}
+
+StateVector QirContext::state() {
+  flush();
+  return sim_->state();
+}
+
+void QirContext::reset() {
+  buffer_.clear();
+  sim_->reset_state();
+}
+
+} // namespace svsim::qir

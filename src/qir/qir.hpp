@@ -1,0 +1,93 @@
+// svsim::qir — the Microsoft QIR-runtime gate-set adapter (Table 2).
+//
+// The QIR runtime defines a simulator template: a backend that implements
+// its virtual gate API (elementary X/Y/Z/H/S/T/R/Exp, their Controlled
+// variants, and the Adjoint forms) can execute Q# programs lowered to QIR.
+// QirContext is that realization for SV-Sim: gate calls buffer into a
+// Circuit; a measurement flushes the buffer through an embedded simulator
+// instance and returns the outcome — mirroring how the paper links SV-Sim
+// under the QIR runtime via a C++ wrapper (§3.3.1, Fig 16's execution
+// path).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace svsim::qir {
+
+enum class PauliAxis { I, X, Y, Z };
+
+/// Measurement outcome, QIR style.
+enum class Result { Zero, One };
+
+class QirContext {
+public:
+  /// Backed by a fresh SingleSim unless an external simulator is supplied
+  /// (any backend works — the adapter only uses the Simulator interface).
+  explicit QirContext(IdxType n_qubits, std::uint64_t seed = 23);
+  QirContext(IdxType n_qubits, std::unique_ptr<Simulator> simulator);
+
+  IdxType n_qubits() const { return n_; }
+
+  // --- elementary operations (Table 2, left column) ---
+  void X(IdxType q);
+  void Y(IdxType q);
+  void Z(IdxType q);
+  void H(IdxType q);
+  void S(IdxType q);
+  void T(IdxType q);
+  /// Unified rotation: exp(-i theta/2 * axis). R(I) is a global phase and
+  /// emits nothing.
+  void R(PauliAxis axis, ValType theta, IdxType q);
+  /// Multi-qubit Pauli exponential exp(-i theta/2 * P1@...@Pk).
+  void Exp(const std::vector<PauliAxis>& paulis, ValType theta,
+           const std::vector<IdxType>& qubits);
+
+  // --- controlled variants (Table 2, right column) ---
+  // One control maps to the specialized 2-qubit kernels; X supports up to
+  // four controls (CCX/C3X/C4X); Z supports two (CCZ via H conjugation).
+  void ControlledX(const std::vector<IdxType>& ctrls, IdxType target);
+  void ControlledY(const std::vector<IdxType>& ctrls, IdxType target);
+  void ControlledZ(const std::vector<IdxType>& ctrls, IdxType target);
+  void ControlledH(const std::vector<IdxType>& ctrls, IdxType target);
+  void ControlledS(const std::vector<IdxType>& ctrls, IdxType target);
+  void ControlledT(const std::vector<IdxType>& ctrls, IdxType target);
+  void ControlledR(const std::vector<IdxType>& ctrls, PauliAxis axis,
+                   ValType theta, IdxType target);
+  void ControlledExp(const std::vector<IdxType>& ctrls,
+                     const std::vector<PauliAxis>& paulis, ValType theta,
+                     const std::vector<IdxType>& qubits);
+
+  // --- adjoints ---
+  void AdjointS(IdxType q);
+  void AdjointT(IdxType q);
+  void ControlledAdjointS(const std::vector<IdxType>& ctrls, IdxType target);
+  void ControlledAdjointT(const std::vector<IdxType>& ctrls, IdxType target);
+
+  // --- execution ---
+  /// Measure one qubit: flushes buffered gates through the simulator and
+  /// collapses. Subsequent gates continue from the post-measurement state.
+  Result M(IdxType q);
+  /// Flush and return P(|1>) on q without collapsing.
+  ValType probability_of_one(IdxType q);
+  /// Flush and snapshot the state.
+  StateVector state();
+  /// Reset everything: simulator state and gate buffer.
+  void reset();
+
+  /// Gates accumulated since the last flush (for inspection/tests).
+  const Circuit& pending() const { return buffer_; }
+
+private:
+  void flush();
+  void basis_in(PauliAxis p, IdxType q);
+  void basis_out(PauliAxis p, IdxType q);
+
+  IdxType n_;
+  std::unique_ptr<Simulator> sim_;
+  Circuit buffer_;
+};
+
+} // namespace svsim::qir

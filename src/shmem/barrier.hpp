@@ -1,0 +1,53 @@
+// Sense-reversing barrier with an optional per-phase completion hook.
+//
+// The SHMEM runtime needs two things std::barrier does not give us
+// together: (a) a completion action chosen per *call* (used by collective
+// symmetric allocation, where the last arriving PE performs the heap bump
+// for everyone), and (b) a barrier usable from plain worker threads with
+// full acquire/release ordering so that one-sided puts issued before the
+// barrier are visible to every PE after it — the nvshmem_barrier_all()
+// contract from Listing 5 of the paper.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace svsim::shmem {
+
+class Barrier {
+public:
+  explicit Barrier(int participants) : participants_(participants) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all participants arrive. If `on_last` is non-empty it runs
+  /// exactly once, on the last arriving thread, while all others are still
+  /// blocked — so it can safely mutate state every participant reads after
+  /// release.
+  void arrive_and_wait(const std::function<void()>& on_last = {}) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t phase = phase_;
+    if (++arrived_ == participants_) {
+      if (on_last) on_last();
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return phase_ != phase; });
+    }
+  }
+
+  int participants() const { return participants_; }
+
+private:
+  const int participants_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t phase_ = 0;
+};
+
+} // namespace svsim::shmem

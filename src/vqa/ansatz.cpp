@@ -1,0 +1,40 @@
+#include "vqa/ansatz.hpp"
+
+namespace svsim::vqa {
+
+ParamCircuit h2_ucc_ansatz() {
+  ParamCircuit pc(2);
+  // Reference (Hartree-Fock) state |01>: qubit 0 flipped.
+  pc.fixed(make_gate(OP::X, 0));
+  // exp(-i theta/2 Y0 X1): Y-basis on q0 (rx(pi/2)), X-basis on q1 (h),
+  // CX ladder, RZ(theta), unwind.
+  pc.fixed(make_gate1p(OP::RX, PI / 2, 0));
+  pc.fixed(make_gate(OP::H, 1));
+  pc.fixed(make_gate(OP::CX, 0, 1));
+  pc.param(OP::RZ, 1, -1, 0);
+  pc.fixed(make_gate(OP::CX, 0, 1));
+  pc.fixed(make_gate1p(OP::RX, -PI / 2, 0));
+  pc.fixed(make_gate(OP::H, 1));
+  return pc;
+}
+
+ParamCircuit hardware_efficient_ansatz(IdxType n_qubits, int layers) {
+  ParamCircuit pc(n_qubits);
+  std::size_t p = 0;
+  auto rot_layer = [&] {
+    for (IdxType q = 0; q < n_qubits; ++q) {
+      pc.param(OP::RY, q, -1, p++);
+      pc.param(OP::RZ, q, -1, p++);
+    }
+  };
+  rot_layer();
+  for (int l = 0; l < layers; ++l) {
+    for (IdxType q = 0; q + 1 < n_qubits; ++q) {
+      pc.fixed(make_gate(OP::CX, q, q + 1));
+    }
+    rot_layer();
+  }
+  return pc;
+}
+
+} // namespace svsim::vqa

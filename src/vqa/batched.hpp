@@ -1,0 +1,66 @@
+// Batched state-vector simulation — the paper's stated future work
+// (§5/§7: "building a variational algorithm specific simulator by
+// further parallelizing the variational optimization loop ... batched
+// simulation").
+//
+// A BatchedSim holds B state vectors in a batch-innermost layout
+// (amps[k*B + b]), and executes the SAME ansatz structure with B
+// different parameter vectors in one pass: every gate is applied to all
+// members before moving on, so the inner loop runs contiguously across
+// the batch and vectorizes, and the circuit is bound/uploaded once per
+// sweep instead of once per member. Nelder-Mead simplex evaluations and
+// SPSA probe pairs are natural batches.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "core/state_vector.hpp"
+#include "ir/matrices.hpp"
+#include "vqa/ansatz.hpp"
+#include "vqa/pauli.hpp"
+
+namespace svsim::vqa {
+
+class BatchedSim {
+public:
+  BatchedSim(IdxType n_qubits, int batch);
+
+  IdxType n_qubits() const { return n_; }
+  int batch() const { return batch_; }
+
+  /// Reset every member to |0...0>.
+  void reset_all();
+
+  /// Execute `ansatz` bound to params[b] on member b (params.size() must
+  /// equal batch()). The ansatz must be unitary (no measure/reset).
+  void run_fresh(const ParamCircuit& ansatz,
+                 const std::vector<std::vector<ValType>>& params);
+
+  /// Snapshot one member's state.
+  StateVector state(int member) const;
+
+  /// <H> for every member (one sweep over the batched amplitudes per
+  /// Pauli term).
+  std::vector<ValType> expectations(const Hamiltonian& h) const;
+
+private:
+  void apply_1q(const std::vector<Mat2>& mats, IdxType q);
+  void apply_2q(const std::vector<Mat4>& mats, IdxType q0, IdxType q1);
+
+  IdxType n_;
+  IdxType dim_;
+  int batch_;
+  // Batch-innermost SoA: element (amplitude k, member b) at [k*batch + b].
+  AlignedBuffer<ValType> real_;
+  AlignedBuffer<ValType> imag_;
+};
+
+/// Convenience: evaluate <H> for many parameter vectors of one ansatz in
+/// batches of `batch` (the drop-in accelerator for simplex/population
+/// optimizers).
+std::vector<ValType> batched_energy_sweep(
+    IdxType n_qubits, const ParamCircuit& ansatz, const Hamiltonian& h,
+    const std::vector<std::vector<ValType>>& param_sets, int batch = 8);
+
+} // namespace svsim::vqa

@@ -1,0 +1,158 @@
+#include "vqa/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace svsim::vqa {
+
+OptResult NelderMead::minimize(const Objective& f,
+                               std::vector<ValType> start) const {
+  const std::size_t dim = start.size();
+  SVSIM_CHECK(dim >= 1, "Nelder-Mead needs at least one parameter");
+  OptResult res;
+
+  // Initial simplex: start point plus one step along each axis.
+  std::vector<std::vector<ValType>> pts(dim + 1, start);
+  for (std::size_t i = 0; i < dim; ++i) pts[i + 1][i] += opt_.initial_step;
+  std::vector<ValType> vals(dim + 1);
+  for (std::size_t i = 0; i <= dim; ++i) {
+    vals[i] = f(pts[i]);
+    ++res.evaluations;
+  }
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(dim + 1);
+    for (std::size_t i = 0; i <= dim; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+    std::vector<std::vector<ValType>> np(dim + 1);
+    std::vector<ValType> nv(dim + 1);
+    for (std::size_t i = 0; i <= dim; ++i) {
+      np[i] = pts[idx[i]];
+      nv[i] = vals[idx[i]];
+    }
+    pts = std::move(np);
+    vals = std::move(nv);
+  };
+
+  for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+    order();
+    res.trace.push_back(vals[0]);
+    if (std::abs(vals[dim] - vals[0]) < opt_.tolerance) {
+      // Keep the trace length equal to the requested iteration count so
+      // Fig 16 plots a full-length curve even after convergence.
+      while (static_cast<int>(res.trace.size()) < opt_.max_iterations) {
+        res.trace.push_back(vals[0]);
+      }
+      break;
+    }
+
+    // Centroid of all but the worst.
+    std::vector<ValType> centroid(dim, 0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += pts[i][d];
+    }
+    for (auto& c : centroid) c /= static_cast<ValType>(dim);
+
+    auto blend = [&](ValType t) {
+      std::vector<ValType> p(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        p[d] = centroid[d] + t * (pts[dim][d] - centroid[d]);
+      }
+      return p;
+    };
+
+    const std::vector<ValType> refl = blend(-1.0);
+    const ValType f_refl = f(refl);
+    ++res.evaluations;
+
+    if (f_refl < vals[0]) {
+      const std::vector<ValType> exp_p = blend(-2.0);
+      const ValType f_exp = f(exp_p);
+      ++res.evaluations;
+      if (f_exp < f_refl) {
+        pts[dim] = exp_p;
+        vals[dim] = f_exp;
+      } else {
+        pts[dim] = refl;
+        vals[dim] = f_refl;
+      }
+    } else if (f_refl < vals[dim - 1]) {
+      pts[dim] = refl;
+      vals[dim] = f_refl;
+    } else {
+      const std::vector<ValType> contr = blend(0.5);
+      const ValType f_contr = f(contr);
+      ++res.evaluations;
+      if (f_contr < vals[dim]) {
+        pts[dim] = contr;
+        vals[dim] = f_contr;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 1; i <= dim; ++i) {
+          for (std::size_t d = 0; d < dim; ++d) {
+            pts[i][d] = pts[0][d] + 0.5 * (pts[i][d] - pts[0][d]);
+          }
+          vals[i] = f(pts[i]);
+          ++res.evaluations;
+        }
+      }
+    }
+  }
+  order();
+  res.best_params = pts[0];
+  res.best_value = vals[0];
+  if (res.trace.empty() || res.trace.back() > res.best_value) {
+    res.trace.push_back(res.best_value);
+  }
+  return res;
+}
+
+OptResult Spsa::minimize(const Objective& f,
+                         std::vector<ValType> start) const {
+  const std::size_t dim = start.size();
+  SVSIM_CHECK(dim >= 1, "SPSA needs at least one parameter");
+  Rng rng(opt_.seed);
+  OptResult res;
+  std::vector<ValType> theta = start;
+  ValType best = f(theta);
+  ++res.evaluations;
+  res.best_params = theta;
+  res.best_value = best;
+
+  for (int k = 0; k < opt_.max_iterations; ++k) {
+    const ValType ak =
+        opt_.a / std::pow(static_cast<ValType>(k + 1) + 10.0, opt_.alpha);
+    const ValType ck =
+        opt_.c / std::pow(static_cast<ValType>(k + 1), opt_.gamma);
+
+    std::vector<ValType> delta(dim);
+    for (auto& d : delta) d = (rng.next_u64() & 1) != 0 ? 1.0 : -1.0;
+
+    std::vector<ValType> plus = theta, minus = theta;
+    for (std::size_t i = 0; i < dim; ++i) {
+      plus[i] += ck * delta[i];
+      minus[i] -= ck * delta[i];
+    }
+    const ValType fp = f(plus);
+    const ValType fm = f(minus);
+    res.evaluations += 2;
+
+    for (std::size_t i = 0; i < dim; ++i) {
+      theta[i] -= ak * (fp - fm) / (2 * ck * delta[i]);
+    }
+    const ValType fk = f(theta);
+    ++res.evaluations;
+    if (fk < res.best_value) {
+      res.best_value = fk;
+      res.best_params = theta;
+    }
+    res.trace.push_back(res.best_value);
+  }
+  return res;
+}
+
+} // namespace svsim::vqa

@@ -1,0 +1,68 @@
+// Classical optimizers for the variational loop (Fig 15): Nelder-Mead —
+// the optimizer the paper's H2 VQE uses (Fig 16: "58 iterations with the
+// Nelder-Mead optimizer") — and SPSA, the standard choice for noisy
+// shot-based objectives (used by the QNN power-grid example).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace svsim::vqa {
+
+using Objective = std::function<ValType(const std::vector<ValType>&)>;
+
+/// Result of one optimization run: best point, best value, and the value
+/// after every iteration (the trace Fig 16 plots).
+struct OptResult {
+  std::vector<ValType> best_params;
+  ValType best_value = 0;
+  std::vector<ValType> trace; // best-so-far objective per iteration
+  int evaluations = 0;
+};
+
+/// Nelder-Mead downhill simplex with standard reflection/expansion/
+/// contraction/shrink coefficients (1, 2, 0.5, 0.5).
+class NelderMead {
+public:
+  struct Options {
+    int max_iterations = 100;
+    ValType initial_step = 0.5; // simplex spread around the start point
+    ValType tolerance = 1e-10;  // spread of simplex values to stop at
+  };
+
+  NelderMead() : opt_(Options{}) {}
+  explicit NelderMead(const Options& opt) : opt_(opt) {}
+
+  OptResult minimize(const Objective& f,
+                     std::vector<ValType> start) const;
+
+private:
+  Options opt_;
+};
+
+/// Simultaneous Perturbation Stochastic Approximation: two evaluations per
+/// iteration regardless of dimension — the iteration pattern that makes
+/// per-circuit latency dominate VQA wall time (§5).
+class Spsa {
+public:
+  struct Options {
+    int max_iterations = 200;
+    ValType a = 0.2;     // step-size numerator
+    ValType c = 0.15;    // perturbation size
+    ValType alpha = 0.602;
+    ValType gamma = 0.101;
+    std::uint64_t seed = 7;
+  };
+
+  Spsa() : opt_(Options{}) {}
+  explicit Spsa(const Options& opt) : opt_(opt) {}
+
+  OptResult minimize(const Objective& f, std::vector<ValType> start) const;
+
+private:
+  Options opt_;
+};
+
+} // namespace svsim::vqa

@@ -1,0 +1,134 @@
+#include "vqa/pauli.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::vqa {
+
+PauliTerm PauliTerm::parse(ValType coeff, const std::string& s) {
+  PauliTerm t;
+  t.coeff = coeff;
+  t.ops.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case 'I': t.ops.push_back(Pauli::I); break;
+      case 'X': t.ops.push_back(Pauli::X); break;
+      case 'Y': t.ops.push_back(Pauli::Y); break;
+      case 'Z': t.ops.push_back(Pauli::Z); break;
+      default: throw Error(std::string("bad Pauli letter: ") + c);
+    }
+  }
+  return t;
+}
+
+IdxType Hamiltonian::n_qubits() const {
+  std::size_t n = 0;
+  for (const auto& t : terms) n = std::max(n, t.ops.size());
+  return static_cast<IdxType>(n);
+}
+
+StateVector apply_pauli(const PauliTerm& term, const StateVector& psi) {
+  SVSIM_CHECK(static_cast<IdxType>(term.ops.size()) <= psi.n_qubits,
+              "Pauli string is wider than the state");
+  StateVector out(psi.n_qubits);
+  const Complex i_unit{0, 1};
+  for (IdxType k = 0; k < psi.dim(); ++k) {
+    // P|k> = phase * |k'>: X flips the bit, Y flips with +-i, Z phases.
+    IdxType target = k;
+    Complex phase{1, 0};
+    for (std::size_t q = 0; q < term.ops.size(); ++q) {
+      const bool bit = qubit_set(k, static_cast<IdxType>(q));
+      switch (term.ops[q]) {
+        case Pauli::I:
+          break;
+        case Pauli::X:
+          target ^= pow2(static_cast<IdxType>(q));
+          break;
+        case Pauli::Y:
+          target ^= pow2(static_cast<IdxType>(q));
+          phase *= bit ? -i_unit : i_unit;
+          break;
+        case Pauli::Z:
+          if (bit) phase = -phase;
+          break;
+      }
+    }
+    out.amps[static_cast<std::size_t>(target)] +=
+        phase * psi.amps[static_cast<std::size_t>(k)];
+  }
+  return out;
+}
+
+ValType Hamiltonian::expectation(const StateVector& psi) const {
+  ValType e = constant;
+  for (const PauliTerm& t : terms) {
+    const StateVector p = apply_pauli(t, psi);
+    Complex ip = 0;
+    for (std::size_t k = 0; k < psi.amps.size(); ++k) {
+      ip += std::conj(psi.amps[k]) * p.amps[k];
+    }
+    e += t.coeff * ip.real(); // Pauli strings are Hermitian
+  }
+  return e;
+}
+
+ValType Hamiltonian::ground_energy() const {
+  // Small dense systems only: inverse-free power iteration on
+  // (shift*I - H), which converges to the lowest eigenvalue of H.
+  const IdxType n = n_qubits();
+  SVSIM_CHECK(n <= 12, "ground_energy: system too large for dense power "
+                       "iteration");
+  // Upper bound on |lambda_max| via sum of |coeffs|.
+  ValType shift = std::abs(constant);
+  for (const auto& t : terms) shift += std::abs(t.coeff);
+  shift += 1.0;
+
+  StateVector v(n);
+  // Deterministic non-degenerate start vector.
+  for (IdxType k = 0; k < v.dim(); ++k) {
+    v.amps[static_cast<std::size_t>(k)] =
+        Complex{1.0 + 0.37 * static_cast<ValType>(k % 7),
+                0.11 * static_cast<ValType>(k % 3)};
+  }
+
+  ValType eigen = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    // w = (shift - H) v  (constant folded in).
+    StateVector w(n);
+    for (std::size_t k = 0; k < v.amps.size(); ++k) {
+      w.amps[k] = (shift - constant) * v.amps[k];
+    }
+    for (const PauliTerm& t : terms) {
+      const StateVector p = apply_pauli(t, v);
+      for (std::size_t k = 0; k < w.amps.size(); ++k) {
+        w.amps[k] -= t.coeff * p.amps[k];
+      }
+    }
+    const ValType norm = std::sqrt(w.norm());
+    for (auto& a : w.amps) a /= norm;
+    // Rayleigh quotient of H on w.
+    const ValType prev = eigen;
+    eigen = expectation(w);
+    v = std::move(w);
+    if (iter > 50 && std::abs(eigen - prev) < 1e-13) break;
+  }
+  return eigen;
+}
+
+Hamiltonian h2_hamiltonian() {
+  // Standard reduced 2-qubit H2 @ 0.7414 A (STO-3G, parity mapped,
+  // Z2-symmetry tapered), electronic coefficients in Hartree, plus the
+  // nuclear repulsion energy so Fig 16 plots total molecular energy.
+  Hamiltonian h;
+  h.constant = -1.05237325 + 0.71996899; // identity + nuclear repulsion
+  h.terms.push_back(PauliTerm::parse(+0.39793742, "ZI"));
+  h.terms.push_back(PauliTerm::parse(-0.39793742, "IZ"));
+  h.terms.push_back(PauliTerm::parse(-0.01128010, "ZZ"));
+  h.terms.push_back(PauliTerm::parse(+0.18093120, "XX"));
+  return h;
+}
+
+} // namespace svsim::vqa

@@ -1,0 +1,53 @@
+// Pauli-string observables and Hamiltonians.
+//
+// VQE needs <psi|H|psi> for H = sum_k c_k P_k where each P_k is a tensor
+// product of I/X/Y/Z. Since the simulator exposes the full state vector,
+// expectations are computed exactly: apply P_k to a copy of the state and
+// take the inner product — no sampling noise in the optimization loop
+// (shot-based estimation is exercised separately by the QNN example).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/state_vector.hpp"
+
+namespace svsim::vqa {
+
+enum class Pauli : char { I = 'I', X = 'X', Y = 'Y', Z = 'Z' };
+
+/// One weighted Pauli string, e.g. 0.18 * XX.
+struct PauliTerm {
+  ValType coeff = 0;
+  std::vector<Pauli> ops; // ops[q] acts on qubit q
+
+  /// Parse from text like "XZIY" (ops[0] = leftmost? No: ops[q] indexes
+  /// qubit q, so "XZ" means X on qubit 0, Z on qubit 1).
+  static PauliTerm parse(ValType coeff, const std::string& s);
+};
+
+/// H = constant + sum of terms.
+struct Hamiltonian {
+  ValType constant = 0; // identity coefficient (e.g. nuclear repulsion)
+  std::vector<PauliTerm> terms;
+
+  IdxType n_qubits() const;
+
+  /// <psi|H|psi> computed exactly from the state vector.
+  ValType expectation(const StateVector& psi) const;
+
+  /// Dense matrix ground-state energy by power iteration on (shift - H)
+  /// — exact reference for small systems (tests, Fig 16 target line).
+  ValType ground_energy() const;
+};
+
+/// Apply one Pauli string to a state (returns P|psi>).
+StateVector apply_pauli(const PauliTerm& term, const StateVector& psi);
+
+/// The reduced 2-qubit H2 Hamiltonian at the equilibrium bond length
+/// (0.7414 A, STO-3G, parity mapping with symmetry reduction) plus the
+/// nuclear repulsion constant — total ground energy ~= -1.137 Ha, the
+/// curve Fig 16 converges to.
+Hamiltonian h2_hamiltonian();
+
+} // namespace svsim::vqa

@@ -1,0 +1,126 @@
+#include "vqa/qnn.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace svsim::vqa {
+
+std::vector<QnnSample> make_powergrid_dataset(int n_samples,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QnnSample> data;
+  data.reserve(static_cast<std::size_t>(n_samples));
+  for (int i = 0; i < n_samples; ++i) {
+    QnnSample s;
+    const ValType gen_p = rng.uniform(0.2, 1.0);  // generator real power
+    const ValType gen_q = rng.uniform(0.0, 0.6);  // generator reactive
+    const ValType load_p = rng.uniform(0.1, 1.0); // real load
+    const ValType load_q = rng.uniform(0.0, 0.8); // reactive load
+    s.features = {gen_p, gen_q, load_p, load_q};
+    // Violation when demand outruns supply, with a mild nonlinearity
+    // standing in for the power-flow physics.
+    const ValType stress = load_p + 0.7 * load_q - 0.8 * gen_p -
+                           0.4 * gen_q + 0.15 * std::sin(3.0 * load_p);
+    s.label = stress > 0.17 ? 1 : 0;
+    data.push_back(s);
+  }
+  return data;
+}
+
+QnnClassifier::QnnClassifier(std::uint64_t seed) : sim_(kQubits) {
+  Rng rng(seed);
+  weights_.resize(8);
+  for (auto& w : weights_) w = rng.uniform(-0.3, 0.3);
+}
+
+Circuit QnnClassifier::build_circuit(const QnnSample& s,
+                                     const std::vector<ValType>& w) const {
+  // Fig 1 layout: qubits 0,1 data; 2,3 weights.
+  Circuit c(kQubits);
+  // Angle encoding of the four features onto the data qubits.
+  c.ry(s.features[0] * PI, 0);
+  c.rz(s.features[1] * PI, 0);
+  c.ry(s.features[2] * PI, 1);
+  c.rz(s.features[3] * PI, 1);
+  // Trainable weight-qubit rotations.
+  c.ry(w[0], 2);
+  c.rz(w[1], 2);
+  c.ry(w[2], 3);
+  c.rz(w[3], 3);
+  // Controlled rotations entangle weights into the data register.
+  c.cry(w[4], 2, 0);
+  c.cry(w[5], 3, 1);
+  c.cx(1, 0);
+  c.cry(w[6], 2, 1);
+  c.crz(w[7], 3, 0);
+  c.cx(1, 0);
+  return c;
+}
+
+ValType QnnClassifier::predict_with(const QnnSample& s,
+                                    const std::vector<ValType>& w) const {
+  Timer t;
+  const Circuit c = build_circuit(s, w);
+  sim_.run_fresh(c);
+  // P(c0 = 0) -> "no violation"; score the violation class.
+  const ValType p1 = sim_.prob_of_qubit(0);
+  total_ms_ += t.millis();
+  ++evals_;
+  return p1;
+}
+
+ValType QnnClassifier::predict(const QnnSample& s) const {
+  return predict_with(s, weights_);
+}
+
+ValType QnnClassifier::accuracy(const std::vector<QnnSample>& data) const {
+  int correct = 0;
+  for (const QnnSample& s : data) {
+    const int pred = predict(s) > 0.5 ? 1 : 0;
+    correct += (pred == s.label) ? 1 : 0;
+  }
+  return static_cast<ValType>(correct) / static_cast<ValType>(data.size());
+}
+
+ValType QnnClassifier::loss(const std::vector<QnnSample>& data) const {
+  ValType sum = 0;
+  for (const QnnSample& s : data) {
+    ValType p = predict(s);
+    p = std::min(std::max(p, 1e-9), 1.0 - 1e-9);
+    sum += s.label == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return sum / static_cast<ValType>(data.size());
+}
+
+QnnClassifier::TrainStats QnnClassifier::train(
+    const std::vector<QnnSample>& data, int epochs, int iters_per_epoch) {
+  TrainStats stats;
+  const Objective objective = [&](const std::vector<ValType>& w) {
+    ValType sum = 0;
+    for (const QnnSample& s : data) {
+      ValType p = predict_with(s, w);
+      p = std::min(std::max(p, 1e-9), 1.0 - 1e-9);
+      sum += s.label == 1 ? -std::log(p) : -std::log(1.0 - p);
+    }
+    return sum / static_cast<ValType>(data.size());
+  };
+
+  for (int e = 0; e < epochs; ++e) {
+    Spsa::Options opt;
+    opt.max_iterations = iters_per_epoch;
+    opt.seed = 100 + static_cast<std::uint64_t>(e);
+    opt.a = 0.6;
+    opt.c = 0.25;
+    const OptResult r = Spsa(opt).minimize(objective, weights_);
+    weights_ = r.best_params;
+    stats.loss_trace.push_back(r.best_value);
+    stats.accuracy_trace.push_back(accuracy(data));
+  }
+  stats.circuit_evaluations = evals_;
+  stats.total_ms = total_ms_;
+  return stats;
+}
+
+} // namespace svsim::vqa

@@ -1,0 +1,149 @@
+#include "vqa/uccsd.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace svsim::vqa {
+
+namespace {
+
+/// Sink abstraction: the same excitation enumeration either emits gates
+/// into a Circuit or just counts them.
+struct CountSink {
+  IdxType gates = 0;
+  IdxType cx = 0;
+  void one_q(OP) { ++gates; }
+  void cx_gate(IdxType, IdxType) {
+    ++gates;
+    ++cx;
+  }
+  void rz(ValType, IdxType) { ++gates; }
+};
+
+struct CircuitSink {
+  Circuit* c;
+  void one_q_at(OP op, IdxType q, ValType theta) {
+    Gate g = make_gate(op, q);
+    g.theta = theta;
+    c->append(g);
+  }
+  void cx_gate(IdxType a, IdxType b) { c->cx(a, b); }
+  void rz(ValType theta, IdxType q) { c->rz(theta, q); }
+};
+
+/// One exp(-i theta/2 * P) for a Pauli string supported on the contiguous
+/// JW chain [lo..hi], where `basis` gives the non-Z letter per interesting
+/// qubit ('X' -> H conjugation, 'Y' -> RX(pi/2) conjugation) and all
+/// qubits strictly between carry Z. Standard ladder construction:
+///   basis-in, CX chain lo->hi, RZ(theta) on hi, CX chain back, basis-out.
+template <typename EmitBasis, typename EmitCx, typename EmitRz>
+void pauli_exponential(const std::vector<std::pair<IdxType, char>>& letters,
+                       IdxType lo, IdxType hi, ValType theta,
+                       EmitBasis&& basis, EmitCx&& cx, EmitRz&& rz) {
+  for (const auto& [q, letter] : letters) basis(q, letter, /*in=*/true);
+  for (IdxType q = lo; q < hi; ++q) cx(q, q + 1);
+  rz(theta, hi);
+  for (IdxType q = hi; q-- > lo;) cx(q, q + 1);
+  for (const auto& [q, letter] : letters) basis(q, letter, /*in=*/false);
+}
+
+/// Enumerate all UCCSD excitation strings for n half-filled spin orbitals,
+/// invoking the callbacks per emitted gate. `theta_of(k)` supplies the
+/// parameter of excitation k.
+template <typename Basis, typename Cx, typename Rz, typename ThetaOf>
+void enumerate(IdxType n, int trotter, Basis&& basis, Cx&& cx, Rz&& rz,
+               ThetaOf&& theta_of) {
+  const IdxType occ = n / 2;
+  for (int rep = 0; rep < trotter; ++rep) {
+    IdxType k = 0;
+    // Singles i -> a: exp(i theta/2 (X_i Y_a - Y_i X_a) with JW Z chain):
+    // two strings per excitation.
+    for (IdxType i = 0; i < occ; ++i) {
+      for (IdxType a = occ; a < n; ++a) {
+        const ValType theta = theta_of(k++);
+        pauli_exponential({{i, 'X'}, {a, 'Y'}}, i, a, theta, basis, cx, rz);
+        pauli_exponential({{i, 'Y'}, {a, 'X'}}, i, a, -theta, basis, cx, rz);
+      }
+    }
+    // Doubles (i,j) -> (a,b): eight strings per excitation (the standard
+    // XXXY-family expansion of the double-excitation generator).
+    static const char kPatterns[8][4] = {
+        {'X', 'X', 'X', 'Y'}, {'X', 'X', 'Y', 'X'}, {'X', 'Y', 'X', 'X'},
+        {'Y', 'X', 'X', 'X'}, {'X', 'Y', 'Y', 'Y'}, {'Y', 'X', 'Y', 'Y'},
+        {'Y', 'Y', 'X', 'Y'}, {'Y', 'Y', 'Y', 'X'}};
+    static const ValType kSigns[8] = {1, 1, -1, 1, -1, 1, -1, -1};
+    for (IdxType i = 0; i < occ; ++i) {
+      for (IdxType j = i + 1; j < occ; ++j) {
+        for (IdxType a = occ; a < n; ++a) {
+          for (IdxType b = a + 1; b < n; ++b) {
+            const ValType theta = theta_of(k++);
+            for (int s = 0; s < 8; ++s) {
+              pauli_exponential({{i, kPatterns[s][0]},
+                                 {j, kPatterns[s][1]},
+                                 {a, kPatterns[s][2]},
+                                 {b, kPatterns[s][3]}},
+                                i, b, kSigns[s] * theta / 8, basis, cx, rz);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+UccsdStats uccsd_gate_count(IdxType n_qubits, int trotter) {
+  SVSIM_CHECK(n_qubits >= 4 && n_qubits % 2 == 0,
+              "UCCSD needs an even number of spin orbitals >= 4");
+  UccsdStats s;
+  s.n_qubits = n_qubits;
+  const IdxType occ = n_qubits / 2;
+  const IdxType virt = n_qubits - occ;
+  s.n_singles = occ * virt;
+  s.n_doubles = (occ * (occ - 1) / 2) * (virt * (virt - 1) / 2);
+  s.n_parameters = s.n_singles + s.n_doubles;
+
+  CountSink sink;
+  enumerate(
+      n_qubits, trotter,
+      [&](IdxType, char, bool) { sink.one_q(OP::H); },
+      [&](IdxType a, IdxType b) { sink.cx_gate(a, b); },
+      [&](ValType, IdxType) { sink.gates++; },
+      [](IdxType) { return ValType{0}; });
+  // Reference-state X gates (one per occupied orbital).
+  s.gates = sink.gates + occ;
+  s.cx = sink.cx;
+  return s;
+}
+
+Circuit build_uccsd(IdxType n_qubits, const std::vector<ValType>& params,
+                    int trotter) {
+  const UccsdStats s = uccsd_gate_count(n_qubits, 1);
+  SVSIM_CHECK(static_cast<IdxType>(params.size()) >= s.n_parameters,
+              "build_uccsd: not enough parameters");
+  Circuit c(n_qubits, CompoundMode::kNative);
+  // Hartree-Fock reference: occupied orbitals set.
+  for (IdxType q = 0; q < n_qubits / 2; ++q) c.x(q);
+
+  enumerate(
+      n_qubits, trotter,
+      [&](IdxType q, char letter, bool in) {
+        if (letter == 'X') {
+          c.h(q);
+        } else {
+          // Y basis: RX(+pi/2) in, RX(-pi/2) out.
+          c.rx(in ? PI / 2 : -PI / 2, q);
+        }
+      },
+      [&](IdxType a, IdxType b) { c.cx(a, b); },
+      [&](ValType theta, IdxType q) { c.rz(theta, q); },
+      [&](IdxType k) {
+        return params[static_cast<std::size_t>(k)] /
+               static_cast<ValType>(trotter);
+      });
+  return c;
+}
+
+} // namespace svsim::vqa

@@ -1,0 +1,37 @@
+// UCCSD ansatz construction and gate-volume accounting (Fig 17).
+//
+// Jordan-Wigner mapped Unitary Coupled Cluster with Singles and Doubles on
+// n spin orbitals (half filled): every excitation becomes Pauli-string
+// exponentials implemented with the standard basis-change + CX-ladder +
+// RZ construction. The same generator both *builds* the circuit (small n;
+// used by tests and the VQE example) and *counts* it without
+// materializing gates (up to n=24, where the volume reaches millions —
+// the Fig 17 curve).
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace svsim::vqa {
+
+struct UccsdStats {
+  IdxType n_qubits = 0;
+  IdxType n_singles = 0;      // single excitations
+  IdxType n_doubles = 0;      // double excitations
+  IdxType n_parameters = 0;   // one per excitation
+  IdxType gates = 0;          // total emitted gates
+  IdxType cx = 0;             // CX subset
+};
+
+/// Count the UCCSD circuit volume for n_qubits spin orbitals with
+/// `trotter` Trotter repetitions (no circuit is materialized).
+UccsdStats uccsd_gate_count(IdxType n_qubits, int trotter = 1);
+
+/// Build the actual UCCSD circuit (feasible for small n; the gate list of
+/// uccsd_gate_count is emitted verbatim). `params` needs one angle per
+/// excitation (see uccsd_gate_count().n_parameters).
+Circuit build_uccsd(IdxType n_qubits, const std::vector<ValType>& params,
+                    int trotter = 1);
+
+} // namespace svsim::vqa

@@ -1,0 +1,38 @@
+#include "vqa/vqe.hpp"
+
+#include "common/timer.hpp"
+
+namespace svsim::vqa {
+
+VqeResult run_vqe(Simulator& sim, const Hamiltonian& hamiltonian,
+                  const ParamCircuit& ansatz, const NelderMead& optimizer,
+                  std::vector<ValType> start) {
+  SVSIM_CHECK(sim.n_qubits() == ansatz.n_qubits(),
+              "simulator/ansatz width mismatch");
+  int evals = 0;
+  double total_ms = 0;
+
+  const Objective objective = [&](const std::vector<ValType>& params) {
+    Timer timer;
+    // The VQA pattern: a brand-new circuit object per evaluation, uploaded
+    // through the function-pointer tables with zero compilation.
+    const Circuit circuit = ansatz.bind(params);
+    sim.run_fresh(circuit);
+    const ValType e = hamiltonian.expectation(sim.state());
+    total_ms += timer.millis();
+    ++evals;
+    return e;
+  };
+
+  const OptResult opt = optimizer.minimize(objective, std::move(start));
+
+  VqeResult res;
+  res.energy = opt.best_value;
+  res.params = opt.best_params;
+  res.trace = opt.trace;
+  res.circuit_evaluations = evals;
+  res.avg_eval_ms = evals > 0 ? total_ms / evals : 0;
+  return res;
+}
+
+} // namespace svsim::vqa

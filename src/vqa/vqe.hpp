@@ -1,0 +1,27 @@
+// VQE driver (Fig 15/16): dynamically re-synthesize the ansatz per
+// optimizer iteration, run it through a fresh simulator state, and
+// evaluate the Hamiltonian expectation exactly from the state vector.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "vqa/ansatz.hpp"
+#include "vqa/optimizer.hpp"
+#include "vqa/pauli.hpp"
+
+namespace svsim::vqa {
+
+struct VqeResult {
+  ValType energy = 0;                 // best energy found
+  std::vector<ValType> params;        // at the best energy
+  std::vector<ValType> trace;         // best-so-far energy per iteration
+  int circuit_evaluations = 0;        // circuits synthesized + simulated
+  double avg_eval_ms = 0;             // mean per-circuit latency
+};
+
+/// Minimize <H> over the ansatz parameters with Nelder-Mead (the paper's
+/// Fig 16 configuration). `sim` must have ansatz.n_qubits() qubits.
+VqeResult run_vqe(Simulator& sim, const Hamiltonian& hamiltonian,
+                  const ParamCircuit& ansatz, const NelderMead& optimizer,
+                  std::vector<ValType> start);
+
+} // namespace svsim::vqa

@@ -1,0 +1,150 @@
+// Tests for the circuit IR: builder validation, compound-gate lowering,
+// gate statistics, inverse, OpenQASM emission.
+#include <gtest/gtest.h>
+
+#include "ir/circuit.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(Circuit, BuilderValidatesOperands) {
+  Circuit c(3);
+  EXPECT_THROW(c.h(3), Error);
+  EXPECT_THROW(c.h(-1), Error);
+  EXPECT_THROW(c.cx(1, 1), Error);
+  EXPECT_THROW(c.cx(0, 5), Error);
+  EXPECT_THROW(c.measure(0, 9), Error);
+  EXPECT_NO_THROW(c.h(0).cx(0, 1).measure(2, 2));
+}
+
+TEST(Circuit, NativeModeKeeps2QCompoundGates) {
+  Circuit c(2, CompoundMode::kNative);
+  c.cz(0, 1).swap(0, 1).cu1(0.5, 0, 1);
+  ASSERT_EQ(c.n_gates(), 3);
+  EXPECT_EQ(c.gates()[0].op, OP::CZ);
+  EXPECT_EQ(c.gates()[1].op, OP::SWAP);
+  EXPECT_EQ(c.gates()[2].op, OP::CU1);
+}
+
+TEST(Circuit, DecomposeModeLowersToQelib1) {
+  Circuit c(2, CompoundMode::kDecompose);
+  c.cz(0, 1);
+  // qelib1: cz = h b; cx a,b; h b.
+  ASSERT_EQ(c.n_gates(), 3);
+  EXPECT_EQ(c.gates()[0].op, OP::H);
+  EXPECT_EQ(c.gates()[1].op, OP::CX);
+  EXPECT_EQ(c.gates()[2].op, OP::H);
+
+  Circuit d(2, CompoundMode::kDecompose);
+  d.cu1(0.7, 0, 1);
+  // cu1 = u1 cx u1 cx u1 : 5 gates, 2 CX — the count Table 4's qft relies on.
+  EXPECT_EQ(d.n_gates(), 5);
+  EXPECT_EQ(d.cx_count(), 2);
+
+  Circuit e(2, CompoundMode::kDecompose);
+  e.swap(0, 1);
+  EXPECT_EQ(e.n_gates(), 3);
+  EXPECT_EQ(e.cx_count(), 3);
+}
+
+TEST(Circuit, CcxAlwaysDecomposes) {
+  for (const auto mode : {CompoundMode::kNative, CompoundMode::kDecompose}) {
+    Circuit c(3, mode);
+    c.ccx(0, 1, 2);
+    EXPECT_EQ(c.n_gates(), 15); // qelib1 Toffoli
+    EXPECT_EQ(c.cx_count(), 6);
+    for (const Gate& g : c.gates()) {
+      EXPECT_TRUE(is_kernel_op(g.op)) << g.str();
+    }
+  }
+}
+
+TEST(Circuit, MultiControlledGatesLowerToKernelOps) {
+  Circuit c(5, CompoundMode::kNative);
+  c.c3x(0, 1, 2, 3).c4x(0, 1, 2, 3, 4).rccx(0, 1, 2).rc3x(0, 1, 2, 3)
+      .c3sqrtx(0, 1, 2, 3).cswap(0, 1, 2);
+  for (const Gate& g : c.gates()) {
+    EXPECT_TRUE(is_kernel_op(g.op)) << g.str();
+  }
+  EXPECT_GT(c.n_gates(), 50);
+}
+
+TEST(Circuit, CountsByOpAndArity) {
+  Circuit c(3, CompoundMode::kNative);
+  c.h(0).h(1).cx(0, 1).cx(1, 2).t(0).cz(0, 2);
+  EXPECT_EQ(c.count_op(OP::H), 2);
+  EXPECT_EQ(c.cx_count(), 2);
+  EXPECT_EQ(c.count_1q(), 3);
+  EXPECT_EQ(c.count_2q(), 3);
+}
+
+TEST(Circuit, AppendCircuitConcatenates) {
+  Circuit a(2);
+  a.h(0);
+  Circuit b(2);
+  b.cx(0, 1);
+  a.append(b);
+  EXPECT_EQ(a.n_gates(), 2);
+  EXPECT_EQ(a.gates()[1].op, OP::CX);
+}
+
+TEST(Circuit, InverseReversesAndAdjoints) {
+  Circuit c(2, CompoundMode::kNative);
+  c.h(0).s(0).t(1).rx(0.3, 0).u3(0.1, 0.2, 0.3, 1).cx(0, 1);
+  const Circuit inv = c.inverse();
+  ASSERT_EQ(inv.n_gates(), c.n_gates());
+  EXPECT_EQ(inv.gates()[0].op, OP::CX);
+  EXPECT_EQ(inv.gates()[1].op, OP::U3);
+  EXPECT_DOUBLE_EQ(inv.gates()[1].theta, -0.1);
+  EXPECT_DOUBLE_EQ(inv.gates()[1].phi, -0.3);
+  EXPECT_DOUBLE_EQ(inv.gates()[1].lam, -0.2);
+  EXPECT_EQ(inv.gates()[2].op, OP::RX);
+  EXPECT_DOUBLE_EQ(inv.gates()[2].theta, -0.3);
+  EXPECT_EQ(inv.gates()[3].op, OP::TDG);
+  EXPECT_EQ(inv.gates()[4].op, OP::SDG);
+  EXPECT_EQ(inv.gates()[5].op, OP::H);
+}
+
+TEST(Circuit, InverseRejectsNonUnitary) {
+  Circuit c(1);
+  c.h(0).measure(0, 0);
+  EXPECT_THROW(c.inverse(), Error);
+}
+
+TEST(Circuit, ToQasmEmitsHeaderAndGates) {
+  Circuit c(2, CompoundMode::kNative);
+  c.h(0).cu1(0.5, 0, 1).measure(1, 1);
+  const std::string qasm = c.to_qasm();
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("cu1(0.5) q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q[1] -> c[1];"), std::string::npos);
+}
+
+TEST(OpInfo, TableIsConsistent) {
+  for (int i = 0; i < kNumOps; ++i) {
+    const OP op = static_cast<OP>(i);
+    const OpInfo& info = op_info(op);
+    EXPECT_EQ(op_from_name(info.name), op) << info.name;
+    EXPECT_GE(info.n_qubits, 0);
+    EXPECT_LE(info.n_qubits, 5);
+    EXPECT_GE(info.n_params, 0);
+    EXPECT_LE(info.n_params, 3);
+  }
+  // Aliases.
+  EXPECT_EQ(op_from_name("p"), OP::U1);
+  EXPECT_EQ(op_from_name("cp"), OP::CU1);
+  EXPECT_EQ(op_from_name("u"), OP::U3);
+  EXPECT_THROW(op_from_name("bogus"), Error);
+}
+
+TEST(Gate, StrFormatsReadably) {
+  Gate g = make_gate1p(OP::RZ, 0.25, 3);
+  EXPECT_EQ(g.str(), "rz(0.25) q[3]");
+  Gate m = make_gate(OP::CX, 1, 2);
+  EXPECT_EQ(m.str(), "cx q[1],q[2]");
+}
+
+} // namespace
+} // namespace svsim

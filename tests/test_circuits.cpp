@@ -1,0 +1,226 @@
+// Tests for the Table 4 circuit generators: registry consistency, exact
+// gate counts for the simple routines, functional correctness of the
+// algorithmic ones (BV recovers its secret, GHZ/cat peak correctly, QFT is
+// flat on a basis state, the multiplier computes 3*5=15, the adder sums,
+// Grover amplifies satisfying assignments).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/qasmbench.hpp"
+#include "core/single_sim.hpp"
+
+namespace svsim {
+namespace {
+
+using namespace svsim::circuits;
+
+TEST(Table4, RegistryHas16RowsWithPaperMetadata) {
+  const auto& rows = table4();
+  ASSERT_EQ(rows.size(), 16u);
+  EXPECT_EQ(medium_ids().size(), 8u);
+  EXPECT_EQ(large_ids().size(), 8u);
+  for (const auto& e : rows) {
+    const Circuit c = make_table4(e.id);
+    EXPECT_EQ(c.n_qubits(), e.qubits) << e.id;
+    // All circuits lower to kernel ops only.
+    for (const Gate& g : c.gates()) {
+      EXPECT_TRUE(is_kernel_op(g.op) || !is_unitary_op(g.op)) << e.id;
+    }
+  }
+  EXPECT_THROW(make_table4("nope_n99"), Error);
+}
+
+TEST(Table4, ExactCountsForSimpleRoutines) {
+  struct Want {
+    const char* id;
+    IdxType gates, cx;
+  };
+  // These six families match Table 4 exactly.
+  const Want wants[] = {
+      {"cc_n12", 22, 11},        {"cc_n18", 34, 17},
+      {"bv_n14", 41, 13},        {"bv_n19", 56, 18},
+      {"qft_n15", 540, 210},     {"qft_n20", 970, 380},
+      {"dnn_n16", 2016, 384},    {"cat_state_n22", 22, 21},
+      {"ghz_state_n23", 23, 22},
+  };
+  for (const Want& w : wants) {
+    const Circuit c = make_table4(w.id);
+    EXPECT_EQ(c.n_gates(), w.gates) << w.id;
+    EXPECT_EQ(c.cx_count(), w.cx) << w.id;
+  }
+}
+
+TEST(Table4, CompositeRoutinesWithinTolerance) {
+  for (const auto& e : table4()) {
+    const Circuit c = make_table4(e.id);
+    const double ratio =
+        static_cast<double>(c.n_gates()) / static_cast<double>(e.paper_gates);
+    EXPECT_GT(ratio, 0.5) << e.id;
+    EXPECT_LT(ratio, 2.0) << e.id;
+  }
+}
+
+TEST(Circuits, GhzPreparesCatState) {
+  const IdxType n = 10;
+  SingleSim sim(n);
+  sim.run(ghz_state(n));
+  const StateVector sv = sim.state();
+  EXPECT_NEAR(sv.prob_of(0), 0.5, 1e-10);
+  EXPECT_NEAR(sv.prob_of(pow2(n) - 1), 0.5, 1e-10);
+}
+
+TEST(Circuits, BernsteinVaziraniRecoversAllOnesSecret) {
+  const IdxType n = 12;
+  SingleSim sim(n);
+  sim.run(bernstein_vazirani(n));
+  const StateVector sv = sim.state();
+  const IdxType secret = pow2(n - 1) - 1; // all ones on the data register
+  ValType p = 0;
+  for (IdxType anc = 0; anc <= 1; ++anc) {
+    p += sv.prob_of(secret | (anc << (n - 1)));
+  }
+  EXPECT_NEAR(p, 1.0, 1e-9);
+}
+
+TEST(Circuits, QftOfBasisStateIsFlat) {
+  const IdxType n = 8;
+  SingleSim sim(n);
+  Circuit prep(n);
+  prep.x(2);
+  sim.run(prep);
+  sim.run(qft(n));
+  for (const ValType p : sim.state().probabilities()) {
+    EXPECT_NEAR(p, 1.0 / static_cast<ValType>(pow2(n)), 1e-9);
+  }
+}
+
+TEST(Circuits, QftInverseRoundTrips) {
+  const IdxType n = 6;
+  SingleSim sim(n);
+  Circuit prep(n);
+  prep.x(1).x(4);
+  sim.run(prep);
+  const Circuit f = qft(n);
+  sim.run(f);
+  sim.run(f.inverse());
+  EXPECT_NEAR(sim.state().prob_of(0b010010), 1.0, 1e-9);
+}
+
+TEST(Circuits, MultiplyComputesThreeTimesFive) {
+  SingleSim sim(13);
+  sim.run(multiply_3x5());
+  const StateVector sv = sim.state();
+  // a=3 on qubits 0-2, b=5 on 3-5, product 15 on 6-11, ancilla 12 clean.
+  const IdxType expected = (3) | (5 << 3) | (15 << 6);
+  EXPECT_NEAR(sv.prob_of(expected), 1.0, 1e-9);
+}
+
+TEST(Circuits, RippleAdderSumsIntoBRegister) {
+  const IdxType n = 10; // 4-bit registers
+  SingleSim sim(n);
+  sim.run(ripple_adder(n));
+  // Generator loads a = 0101 (bits i even) = 5, b = 1010 = 10; Cuccaro
+  // leaves b = a+b = 15 and restores a.
+  const StateVector sv = sim.state();
+  IdxType expected = 0;
+  const IdxType a_val = 5, sum = 15;
+  for (IdxType i = 0; i < 4; ++i) {
+    if (qubit_set(a_val, i)) expected |= pow2(1 + 2 * i);
+    if (qubit_set(sum, i)) expected |= pow2(2 + 2 * i);
+  }
+  // No carry out of 4 bits (15 < 16), cin stays 0.
+  EXPECT_NEAR(sv.prob_of(expected), 1.0, 1e-9) << "expected " << expected;
+}
+
+TEST(Circuits, SatAmplifiesSatisfyingAssignments) {
+  SingleSim sim(11);
+  sim.run(sat(11));
+  const StateVector sv = sim.state();
+
+  // Recompute the clause set from the generator definition.
+  const int clause[4][3] = {{1, 2, -3}, {-1, 3, 4}, {2, -4, 1}, {-2, -3, 4}};
+  auto satisfied = [&](IdxType assign) {
+    for (const auto& cl : clause) {
+      bool ok = false;
+      for (const int lit : cl) {
+        const bool v = qubit_set(assign, std::abs(lit) - 1);
+        if ((lit > 0 && v) || (lit < 0 && !v)) ok = true;
+      }
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  int n_sat = 0;
+  ValType p_sat = 0;
+  for (IdxType a = 0; a < 16; ++a) {
+    if (!satisfied(a)) continue;
+    ++n_sat;
+    // Sum over all non-variable qubit configurations.
+    for (IdxType rest = 0; rest < pow2(7); ++rest) {
+      p_sat += sv.prob_of(a | (rest << 4));
+    }
+  }
+  ASSERT_GT(n_sat, 0);
+  ASSERT_LT(n_sat, 16);
+
+  // One exact Grover iteration: phase-flip solutions, reflect about the
+  // mean. Starting amplitude a = 1/sqrt(N); mean after the oracle is
+  // m = a(N-2M)/N; solutions end at 2m + a. (With M > N/2, as here, the
+  // iteration *de*-amplifies — the analytic value is still the exact
+  // signature that oracle and diffuser are both correct.)
+  const ValType N = 16, M = static_cast<ValType>(n_sat);
+  const ValType a0 = 1.0 / std::sqrt(N);
+  const ValType mean = a0 * (N - 2 * M) / N;
+  const ValType expect_p = M * (2 * mean + a0) * (2 * mean + a0);
+  EXPECT_NEAR(p_sat, expect_p, 1e-9)
+      << "post-Grover solution mass must match the analytic reflection";
+}
+
+TEST(Circuits, SquareRootAmplifiesTarget) {
+  SingleSim sim(18);
+  sim.run(square_root(18));
+  const StateVector sv = sim.state();
+  const IdxType target = 0b10110101;
+  ValType p = 0;
+  for (IdxType rest = 0; rest < pow2(10); ++rest) {
+    p += sv.prob_of(target | (rest << 8));
+  }
+  // 6 amplification rounds on a 1/256 target: well above uniform.
+  EXPECT_GT(p, 0.3);
+}
+
+TEST(Circuits, NormPreservedOnAllUnitaryTable4Circuits) {
+  for (const auto& e : table4()) {
+    if (e.qubits > 16) continue; // keep the sweep fast
+    SingleSim sim(e.qubits);
+    sim.run(make_table4(e.id));
+    EXPECT_NEAR(sim.state().norm(), 1.0, 1e-9) << e.id;
+  }
+}
+
+TEST(Circuits, RandomCircuitRespectsRequestedShape) {
+  const Circuit c = random_circuit(7, 123, 5);
+  EXPECT_EQ(c.n_qubits(), 7);
+  EXPECT_EQ(c.n_gates(), 123);
+  // Determinism: same seed, same circuit.
+  const Circuit d = random_circuit(7, 123, 5);
+  for (IdxType i = 0; i < c.n_gates(); ++i) {
+    EXPECT_EQ(c.gates()[static_cast<std::size_t>(i)].op,
+              d.gates()[static_cast<std::size_t>(i)].op);
+  }
+  const Circuit e = random_circuit(7, 123, 6);
+  bool differs = false;
+  for (IdxType i = 0; i < c.n_gates(); ++i) {
+    if (c.gates()[static_cast<std::size_t>(i)].op !=
+        e.gates()[static_cast<std::size_t>(i)].op) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace svsim

@@ -1,0 +1,152 @@
+// Tests for controlled-arbitrary-unitary construction: sqrt_unitary
+// properties, exact controlled-U (phase included), and the Barenco
+// multi-controlled recursion against dense truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/generalized_sim.hpp"
+#include "core/single_sim.hpp"
+#include "ir/controlled.hpp"
+
+namespace svsim {
+namespace {
+
+Mat2 random_unitary(Rng& rng) {
+  Gate g = make_gate1p(OP::U3, rng.uniform(-PI, PI), 0);
+  g.phi = rng.uniform(-PI, PI);
+  g.lam = rng.uniform(-PI, PI);
+  Mat2 u = matrix_1q(g);
+  // Random global phase so tests cover the full U(2), not just SU(2)-ish.
+  const Complex phase = std::exp(Complex{0, rng.uniform(-PI, PI)});
+  for (auto& e : u) e *= phase;
+  return u;
+}
+
+TEST(SqrtUnitary, SquaresBackToInput) {
+  Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Mat2 u = random_unitary(rng);
+    const Mat2 v = sqrt_unitary(u);
+    EXPECT_TRUE(is_unitary(v, 1e-9));
+    EXPECT_LT(mat_distance(matmul(v, v), u), 1e-9);
+  }
+}
+
+TEST(SqrtUnitary, HandlesScalarMultipleOfIdentity) {
+  Mat2 u = {Complex{0, 1}, {}, {}, Complex{0, 1}}; // iI
+  const Mat2 v = sqrt_unitary(u);
+  EXPECT_LT(mat_distance(matmul(v, v), u), 1e-12);
+  EXPECT_THROW(sqrt_unitary(Mat2{Complex{3, 0}, {}, {}, Complex{1, 0}}),
+               Error);
+}
+
+TEST(ControlledUnitary, ExactIncludingPhase) {
+  // Controlled-U must act as the block matrix diag(I, U) exactly — a
+  // wrong "global" phase on U would be a detectable relative phase.
+  Rng rng(57);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Mat2 u = random_unitary(rng);
+    Circuit c(2);
+    append_controlled_unitary(c, u, 0, 1);
+
+    GeneralizedSim got(2);
+    Circuit prep(2);
+    prep.h(0).h(1); // superposition across control values
+    got.run(prep);
+    got.run(c);
+
+    GeneralizedSim want(2);
+    want.run(prep);
+    want.apply_matrix(controlled(u), 0, 1);
+
+    EXPECT_LT(got.state().max_diff(want.state()), 1e-10) << trial;
+  }
+}
+
+class McuTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(McuTest, MatchesDenseTruthOnSuperposition) {
+  const int k = GetParam(); // number of controls
+  const IdxType n = static_cast<IdxType>(k) + 1;
+  Rng rng(100 + static_cast<std::uint64_t>(k));
+  const Mat2 u = random_unitary(rng);
+
+  std::vector<IdxType> ctrls;
+  for (int i = 0; i < k; ++i) ctrls.push_back(i);
+  const IdxType target = n - 1;
+
+  Circuit c(n);
+  append_multi_controlled_unitary(c, u, ctrls, target);
+
+  Circuit prep(n);
+  for (IdxType q = 0; q < n; ++q) prep.h(q);
+
+  SingleSim got(n);
+  got.run(prep);
+  got.run(c);
+
+  // Dense truth: apply U on the target only where all controls are 1.
+  GeneralizedSim want(n);
+  want.run(prep);
+  StateVector sv = want.state();
+  const IdxType cmask = pow2(static_cast<IdxType>(k)) - 1;
+  for (IdxType base = 0; base < pow2(n); ++base) {
+    if ((base & cmask) != cmask || qubit_set(base, target)) continue;
+    const IdxType hi = base | pow2(target);
+    const Complex a0 = sv.amps[static_cast<std::size_t>(base)];
+    const Complex a1 = sv.amps[static_cast<std::size_t>(hi)];
+    sv.amps[static_cast<std::size_t>(base)] = u[0] * a0 + u[1] * a1;
+    sv.amps[static_cast<std::size_t>(hi)] = u[2] * a0 + u[3] * a1;
+  }
+  if (k == 0) {
+    // With no controls the construction emits u3 only — the dropped
+    // global phase is unobservable, so compare via fidelity.
+    EXPECT_NEAR(got.state().fidelity(sv), 1.0, 1e-9);
+  } else {
+    EXPECT_LT(got.state().max_diff(sv), 1e-8) << k << " controls";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Controls, McuTest, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Mcx, FiveAndSixControls) {
+  for (const int k : {5, 6}) {
+    const IdxType n = static_cast<IdxType>(k) + 1;
+    std::vector<IdxType> ctrls;
+    for (int i = 0; i < k; ++i) ctrls.push_back(i);
+    Circuit c(n);
+    append_multi_controlled_x(c, ctrls, n - 1);
+
+    // All controls set: target flips.
+    SingleSim sim(n);
+    Circuit prep(n);
+    for (int i = 0; i < k; ++i) prep.x(i);
+    sim.run(prep);
+    sim.run(c);
+    EXPECT_NEAR(sim.state().prob_of(pow2(n) - 1), 1.0, 1e-7) << k;
+
+    // One control clear: nothing happens.
+    SingleSim sim2(n);
+    Circuit prep2(n);
+    for (int i = 1; i < k; ++i) prep2.x(i);
+    sim2.run(prep2);
+    sim2.run(c);
+    // Controls 1..k-1 set, control 0 and target clear -> unchanged.
+    EXPECT_NEAR(sim2.state().prob_of(pow2(static_cast<IdxType>(k)) - 2), 1.0,
+                1e-7)
+        << k;
+  }
+}
+
+TEST(Mcu, RejectsTooManyControls) {
+  Circuit c(12);
+  std::vector<IdxType> ctrls;
+  for (int i = 0; i < 9; ++i) ctrls.push_back(i);
+  const Mat2 x = matrix_1q(make_gate(OP::X, 0));
+  EXPECT_THROW(append_multi_controlled_unitary(c, x, ctrls, 11), Error);
+}
+
+} // namespace
+} // namespace svsim

@@ -1,0 +1,154 @@
+// Tests for the density-matrix backend: pure-state agreement with the
+// state-vector simulators, channel semantics (depolarizing, amplitude and
+// phase damping), trace/purity invariants, and the exact-channel vs
+// stochastic-trajectory cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/qasmbench.hpp"
+#include "core/density_sim.hpp"
+#include "core/noise.hpp"
+#include "core/single_sim.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(Density, InitialStateIsPureZero) {
+  DensitySim rho(3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.probabilities()[0], 1.0, 1e-12);
+}
+
+TEST(Density, PureEvolutionMatchesOuterProduct) {
+  const Circuit c = circuits::random_circuit(4, 60, 9);
+  DensitySim rho(4);
+  rho.run(c);
+
+  SingleSim sv(4);
+  sv.run(c);
+  const StateVector psi = sv.state();
+
+  for (IdxType r = 0; r < 16; ++r) {
+    for (IdxType col = 0; col < 16; ++col) {
+      const Complex expect = psi.amps[static_cast<std::size_t>(r)] *
+                             std::conj(psi.amps[static_cast<std::size_t>(col)]);
+      EXPECT_NEAR(std::abs(rho.element(r, col) - expect), 0.0, 1e-10)
+          << r << "," << col;
+    }
+  }
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.fidelity_with_pure(psi), 1.0, 1e-10);
+}
+
+TEST(Density, TracePreservedThroughChannels) {
+  DensitySim rho(3);
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(2);
+  rho.run(c);
+  rho.depolarize(0, 0.2);
+  rho.amplitude_damp(1, 0.3);
+  rho.phase_damp(2, 0.4);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(Density, DepolarizingReducesPurity) {
+  DensitySim rho(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  rho.run(c);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+  rho.depolarize(0, 0.3);
+  EXPECT_LT(rho.purity(), 0.9);
+  // Full depolarization of one qubit of a Bell pair: maximally mixed.
+  DensitySim bell(2);
+  bell.run(c);
+  bell.depolarize(0, 1.0);
+  // 2/3 of the time a Pauli hits; resulting state has purity 1/2 ... just
+  // check it dropped substantially and probabilities stay normalized.
+  ValType total = 0;
+  for (const ValType p : bell.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  EXPECT_LT(bell.purity(), 0.8);
+}
+
+TEST(Density, AmplitudeDampingDecaysExcitedState) {
+  DensitySim rho(1);
+  Circuit c(1);
+  c.x(0);
+  rho.run(c);
+  rho.amplitude_damp(0, 0.25);
+  EXPECT_NEAR(rho.probabilities()[1], 0.75, 1e-10);
+  EXPECT_NEAR(rho.probabilities()[0], 0.25, 1e-10);
+  // Full damping: back to pure |0>.
+  rho.amplitude_damp(0, 1.0);
+  EXPECT_NEAR(rho.probabilities()[0], 1.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+TEST(Density, PhaseDampingKillsCoherence) {
+  DensitySim rho(1);
+  Circuit c(1);
+  c.h(0);
+  rho.run(c);
+  EXPECT_NEAR(std::abs(rho.element(0, 1)), 0.5, 1e-10);
+  rho.phase_damp(0, 1.0);
+  // Diagonal untouched, off-diagonal gone, purity 1/2.
+  EXPECT_NEAR(rho.probabilities()[0], 0.5, 1e-10);
+  EXPECT_NEAR(rho.probabilities()[1], 0.5, 1e-10);
+  EXPECT_NEAR(std::abs(rho.element(0, 1)), 0.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-10);
+}
+
+TEST(Density, ExactChannelMatchesTrajectoryAverage) {
+  // The stochastic trajectory noise (core/noise.hpp) with 1-qubit
+  // depolarizing probability p after each gate must converge to the exact
+  // channel: run h(0); t(0) with noise p, compare probabilities.
+  const ValType p = 0.3;
+  Circuit c(2);
+  c.h(0).t(0).cx(0, 1);
+
+  // Exact: interleave gates and channels in the same order the injector
+  // uses (channel after each gate).
+  DensitySim rho(2);
+  Circuit g1(2);
+  g1.h(0);
+  rho.run(g1);
+  rho.depolarize(0, p);
+  Circuit g2(2);
+  g2.t(0);
+  rho.run(g2);
+  rho.depolarize(0, p);
+  Circuit g3(2);
+  g3.cx(0, 1);
+  rho.run(g3);
+  // The trajectory run below uses p2 = 0, so no channel follows the CX on
+  // the exact side either.
+  const auto exact = rho.probabilities();
+
+  NoiseModel nm;
+  nm.p1 = p;
+  nm.p2 = 0;
+  SingleSim sv(2);
+  const auto sampled = noisy_probabilities(sv, c, nm, 4000, 12);
+
+  for (std::size_t k = 0; k < exact.size(); ++k) {
+    EXPECT_NEAR(sampled[k], exact[k], 0.03) << k;
+  }
+}
+
+TEST(Density, RejectsBadInputs) {
+  DensitySim rho(2);
+  Circuit c(2);
+  c.measure(0, 0);
+  EXPECT_THROW(rho.run(c), Error);
+  EXPECT_THROW(rho.depolarize(0, 1.5), Error);
+  EXPECT_THROW(rho.depolarize(5, 0.1), Error);
+  // Non-trace-preserving Kraus set.
+  const Mat2 half = {Complex{0.5, 0}, {}, {}, Complex{0.5, 0}};
+  EXPECT_THROW(rho.apply_kraus({half}, 0), Error);
+}
+
+} // namespace
+} // namespace svsim

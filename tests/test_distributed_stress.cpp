@@ -1,0 +1,169 @@
+// Deeper distributed-backend coverage: high worker counts, the
+// both-operands-remote exchange path, state continuity across run()
+// calls, non-unitary ops on partition-boundary qubits, and SHMEM atomics
+// under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "circuits/qasmbench.hpp"
+#include "core/coarse_msg_sim.hpp"
+#include "core/peer_sim.hpp"
+#include "core/shmem_sim.hpp"
+#include "core/single_sim.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(DistributedStress, SixteenWorkersOnDeepCircuit) {
+  const Circuit c = circuits::random_circuit(9, 400, 77);
+  SingleSim ref(9);
+  ref.run(c);
+  const StateVector truth = ref.state();
+
+  PeerSim peer(9, 16);
+  peer.run(c);
+  EXPECT_LT(peer.state().max_diff(truth), 1e-10);
+
+  ShmemSim shm(9, 16);
+  shm.run(c);
+  EXPECT_LT(shm.state().max_diff(truth), 1e-10);
+
+  CoarseMsgSim msg(9, 16);
+  msg.run(c);
+  EXPECT_LT(msg.state().max_diff(truth), 1e-10);
+}
+
+TEST(DistributedStress, CoarseBothOperandsRemote) {
+  // 8 ranks over 6 qubits: qubits 3,4,5 live in the rank index. Gates
+  // touching two of them exercise the three-partner exchange path.
+  const IdxType n = 6;
+  Circuit c(n);
+  c.h(3).h(4).h(5);
+  c.cx(3, 4).cz(4, 5).swap(3, 5).cu3(0.3, 0.2, 0.1, 5, 4).rxx(0.7, 3, 4);
+
+  SingleSim ref(n);
+  ref.run(c);
+  CoarseMsgSim msg(n, 8);
+  msg.run(c);
+  EXPECT_LT(msg.state().max_diff(ref.state()), 1e-11);
+  EXPECT_GT(msg.stats().messages, 0u);
+}
+
+TEST(DistributedStress, StatePersistsAcrossRuns) {
+  Circuit first(7), second(7);
+  first.h(0).cx(0, 6);
+  second.t(6).cx(6, 3).h(2);
+
+  SingleSim ref(7);
+  ref.run(first);
+  ref.run(second);
+  const StateVector truth = ref.state();
+
+  for (const int k : {2, 4}) {
+    ShmemSim shm(7, k);
+    shm.run(first);
+    shm.run(second); // must continue, not restart
+    EXPECT_LT(shm.state().max_diff(truth), 1e-11) << "shmem x" << k;
+
+    PeerSim peer(7, k);
+    peer.run(first);
+    peer.run(second);
+    EXPECT_LT(peer.state().max_diff(truth), 1e-11) << "peer x" << k;
+
+    CoarseMsgSim msg(7, k);
+    msg.run(first);
+    msg.run(second);
+    EXPECT_LT(msg.state().max_diff(truth), 1e-11) << "coarse x" << k;
+  }
+}
+
+TEST(DistributedStress, MeasureOnPartitionBoundaryQubit) {
+  // Measuring the top qubit forces the probability reduction across
+  // workers and the collapse of remote halves.
+  const IdxType n = 6;
+  Circuit c(n);
+  c.h(n - 1).cx(n - 1, 0);
+  for (IdxType q = 0; q < n; ++q) c.measure(q, q);
+
+  SimConfig cfg;
+  cfg.seed = 4242;
+  SingleSim ref(n, cfg);
+  ref.run(c);
+
+  ShmemSim shm(n, 4, cfg);
+  shm.run(c);
+  EXPECT_EQ(shm.cbits(), ref.cbits());
+
+  CoarseMsgSim msg(n, 4, cfg);
+  msg.run(c);
+  EXPECT_EQ(msg.cbits(), ref.cbits());
+  // Bell correlation between bottom and top qubit.
+  EXPECT_EQ(ref.cbits()[0], ref.cbits()[n - 1]);
+}
+
+TEST(DistributedStress, ResetOfDeterministicOneOnHighQubit) {
+  // x on the top qubit then reset: the |1>-half must migrate back across
+  // the partition boundary (the exchange path in CoarseMsgSim).
+  const IdxType n = 5;
+  Circuit c(n);
+  c.x(n - 1).h(0).reset(n - 1);
+
+  SingleSim ref(n);
+  ref.run(c);
+  for (const int k : {2, 4}) {
+    CoarseMsgSim msg(n, k);
+    msg.run(c);
+    EXPECT_LT(msg.state().max_diff(ref.state()), 1e-12) << k;
+
+    ShmemSim shm(n, k);
+    shm.run(c);
+    EXPECT_LT(shm.state().max_diff(ref.state()), 1e-12) << k;
+  }
+}
+
+TEST(DistributedStress, ShmemAtomicsUnderContention) {
+  shmem::Runtime rt(8, 1 << 16);
+  rt.run([&](shmem::Ctx& ctx) {
+    double* counters = ctx.malloc_sym<double>(4);
+    ctx.barrier_all();
+    // Every PE hammers every counter on PE 0.
+    for (int i = 0; i < 500; ++i) {
+      ctx.atomic_fetch_add(&counters[i % 4], 1.0, 0);
+    }
+    ctx.barrier_all();
+    if (ctx.pe() == 0) {
+      double total = 0;
+      for (int k = 0; k < 4; ++k) total += counters[k];
+      EXPECT_EQ(total, 8.0 * 500.0);
+    }
+  });
+}
+
+TEST(DistributedStress, SamplingAgreesAtSixteenPes) {
+  const Circuit c = circuits::qft(8);
+  SimConfig cfg;
+  cfg.seed = 9009;
+  SingleSim ref(8, cfg);
+  ref.run(c);
+  ShmemSim shm(8, 16, cfg);
+  shm.run(c);
+  EXPECT_EQ(ref.sample(128), shm.sample(128));
+}
+
+TEST(DistributedStress, WideRegisterOnShmem) {
+  // 2^18 amplitudes over 8 PEs: a larger partition sanity run.
+  const IdxType n = 18;
+  Circuit c(n);
+  c.h(0);
+  for (IdxType q = 1; q < n; ++q) c.cx(q - 1, q);
+  ShmemSim shm(n, 8);
+  shm.run(c);
+  const StateVector sv = shm.state();
+  EXPECT_NEAR(sv.prob_of(0), 0.5, 1e-10);
+  EXPECT_NEAR(sv.prob_of(pow2(n) - 1), 0.5, 1e-10);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace svsim

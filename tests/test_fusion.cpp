@@ -1,0 +1,171 @@
+// Tests for the gate-fusion pass: ZYZ resynthesis round trips, state
+// equivalence on random circuits, the specific peephole rules, and
+// boundary behaviour around non-unitary operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/qasmbench.hpp"
+#include "common/rng.hpp"
+#include "core/single_sim.hpp"
+#include "ir/fusion.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(U3FromMatrix, RoundTripsNamedGates) {
+  for (const OP op : {OP::X, OP::Y, OP::Z, OP::H, OP::S, OP::SDG, OP::T,
+                      OP::TDG, OP::RX, OP::RY, OP::RZ, OP::U1, OP::U2,
+                      OP::U3}) {
+    Gate g = make_gate(op, 0);
+    g.theta = 0.93;
+    g.phi = -0.41;
+    g.lam = 1.7;
+    const Mat2 u = matrix_1q(g);
+    const Gate back = u3_from_matrix(u, 0);
+    EXPECT_LT(mat_distance(matrix_1q(back), u, /*up_to_phase=*/true), 1e-10)
+        << op_name(op);
+  }
+}
+
+TEST(U3FromMatrix, RoundTripsRandomProducts) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    Mat2 u = {Complex{1, 0}, {}, {}, Complex{1, 0}};
+    for (int k = 0; k < 5; ++k) {
+      Gate g = make_gate1p(OP::U3, rng.uniform(-PI, PI), 0);
+      g.phi = rng.uniform(-PI, PI);
+      g.lam = rng.uniform(-PI, PI);
+      u = matmul(matrix_1q(g), u);
+    }
+    const Gate back = u3_from_matrix(u, 0);
+    EXPECT_LT(mat_distance(matrix_1q(back), u, true), 1e-9);
+  }
+}
+
+TEST(U3FromMatrix, RejectsNonUnitary) {
+  const Mat2 bad = {Complex{2, 0}, {}, {}, Complex{1, 0}};
+  EXPECT_THROW(u3_from_matrix(bad, 0), Error);
+}
+
+TEST(Fusion, CollapsesRunsIntoSingleU3) {
+  Circuit c(1);
+  c.h(0).t(0).s(0).rx(0.3, 0).rz(-0.8, 0);
+  FusionStats st;
+  const Circuit f = fuse_gates(c, &st);
+  EXPECT_EQ(f.n_gates(), 1);
+  EXPECT_EQ(f.gates()[0].op, OP::U3);
+  EXPECT_EQ(st.fused_1q, 5);
+}
+
+TEST(Fusion, SingleGatesStayVerbatim) {
+  // A lone T must remain a T (its specialized kernel touches half the
+  // memory a u3 would).
+  Circuit c(2);
+  c.t(0).cx(0, 1).h(1);
+  const Circuit f = fuse_gates(c);
+  ASSERT_EQ(f.n_gates(), 3);
+  EXPECT_EQ(f.gates()[0].op, OP::T);
+  EXPECT_EQ(f.gates()[1].op, OP::CX);
+  EXPECT_EQ(f.gates()[2].op, OP::H);
+}
+
+TEST(Fusion, DropsIdentityRuns) {
+  Circuit c(1);
+  c.h(0).h(0).s(0).sdg(0).t(0).tdg(0).id(0);
+  FusionStats st;
+  const Circuit f = fuse_gates(c, &st);
+  EXPECT_EQ(f.n_gates(), 0);
+  EXPECT_GE(st.dropped_identity, 6);
+}
+
+TEST(Fusion, CancelsAdjacentInverse2QGates) {
+  Circuit c(3);
+  c.cx(0, 1).cx(0, 1).swap(1, 2).swap(1, 2).crz(0.7, 0, 2).crz(-0.7, 0, 2);
+  FusionStats st;
+  const Circuit f = fuse_gates(c, &st);
+  EXPECT_EQ(f.n_gates(), 0);
+  EXPECT_EQ(st.cancelled_2q, 6);
+}
+
+TEST(Fusion, DoesNotCancelAcrossInterveningGates) {
+  Circuit c(3);
+  c.cx(0, 1).x(1).cx(0, 1); // X on the target blocks cancellation
+  const Circuit f = fuse_gates(c);
+  EXPECT_EQ(f.n_gates(), 3);
+
+  Circuit d(3);
+  d.cx(0, 1).x(2).cx(0, 1); // spectator qubit does NOT block
+  const Circuit fd = fuse_gates(d);
+  EXPECT_EQ(fd.count_op(OP::CX), 0);
+}
+
+TEST(Fusion, HHPairAroundCxStillCancels) {
+  // cx, h h (identity, dropped), cx -> everything vanishes.
+  Circuit c(2);
+  c.cx(0, 1).h(1).h(1).cx(0, 1);
+  const Circuit f = fuse_gates(c);
+  EXPECT_EQ(f.n_gates(), 0);
+}
+
+TEST(Fusion, NonUnitaryOpsAreBoundaries) {
+  Circuit c(2);
+  c.h(0).measure(0, 0).h(0);
+  const Circuit f = fuse_gates(c);
+  // The two H's must not merge across the measurement.
+  ASSERT_EQ(f.n_gates(), 3);
+  EXPECT_EQ(f.gates()[1].op, OP::M);
+
+  Circuit d(2);
+  d.cx(0, 1).barrier().cx(0, 1);
+  const Circuit fd = fuse_gates(d);
+  EXPECT_EQ(fd.count_op(OP::CX), 2); // barrier blocks cancellation
+}
+
+class FusionEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FusionEquivalenceTest, FusedCircuitGivesSameStateUpToPhase) {
+  const IdxType n = 7;
+  const Circuit c = circuits::random_circuit(n, 250, GetParam());
+  FusionStats st;
+  const Circuit f = fuse_gates(c, &st);
+  EXPECT_LT(f.n_gates(), c.n_gates());
+
+  SingleSim a(n), b(n);
+  a.run(c);
+  b.run(f);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Fusion, ShrinksQasmbenchCircuits) {
+  for (const char* id : {"multiply_n13", "dnn_n16", "sat_n11", "seca_n11"}) {
+    const Circuit c = circuits::make_table4(id);
+    FusionStats st;
+    const Circuit f = fuse_gates(c, &st);
+    EXPECT_LT(f.n_gates(), c.n_gates()) << id;
+    EXPECT_EQ(st.gates_before, c.n_gates()) << id;
+    EXPECT_EQ(st.gates_after, f.n_gates()) << id;
+    if (std::string(id) != "dnn_n16") {
+      // Functional check on a backend (dnn's 16 qubits are fine too but
+      // keep the sweep quick).
+      SingleSim a(c.n_qubits()), b(c.n_qubits());
+      a.run(c);
+      b.run(f);
+      EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-8) << id;
+    }
+  }
+}
+
+TEST(Fusion, IdempotentOnOptimizedCircuit) {
+  const Circuit c = circuits::make_table4("qft_n15");
+  const Circuit once = fuse_gates(c);
+  const Circuit twice = fuse_gates(once);
+  EXPECT_EQ(twice.n_gates(), once.n_gates());
+}
+
+} // namespace
+} // namespace svsim

@@ -1,0 +1,106 @@
+// Cross-feature integration: the optimization passes (fusion, remap),
+// noise injection, and the frontends composed with the distributed
+// backends — the combinations a real user stacks together.
+#include <gtest/gtest.h>
+
+#include "circuits/qasmbench.hpp"
+#include "core/noise.hpp"
+#include "core/peer_sim.hpp"
+#include "core/shmem_sim.hpp"
+#include "core/single_sim.hpp"
+#include "ir/fusion.hpp"
+#include "ir/remap.hpp"
+#include "qasm/parser.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(Integration, FusedCircuitRunsOnDistributedBackends) {
+  const Circuit c = circuits::random_circuit(8, 300, 123);
+  const Circuit fused = fuse_gates(c);
+
+  SingleSim ref(8);
+  ref.run(c);
+
+  PeerSim peer(8, 4);
+  peer.run(fused);
+  EXPECT_NEAR(peer.state().fidelity(ref.state()), 1.0, 1e-9);
+
+  ShmemSim shm(8, 4);
+  shm.run(fused);
+  EXPECT_NEAR(shm.state().fidelity(ref.state()), 1.0, 1e-9);
+}
+
+TEST(Integration, FusionThenRemapComposes) {
+  const Circuit c = circuits::make_table4("qft_n15");
+  const Circuit fused = fuse_gates(c);
+  RemapResult r = remap_for_partition(fused, 12);
+  restore_layout(r.circuit, r.layout);
+
+  SingleSim a(15), b(15);
+  a.run(c);
+  b.run(r.circuit);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-8);
+}
+
+TEST(Integration, NoisyCircuitAgreesAcrossBackends) {
+  // A sampled noisy trajectory is just a circuit — every backend must
+  // produce the identical state for it.
+  const Circuit c = circuits::ghz_state(7);
+  NoiseModel nm;
+  nm.p1 = nm.p2 = 0.1;
+  Rng rng(55);
+  const Circuit noisy = inject_pauli_noise(c, nm, rng);
+
+  SingleSim ref(7);
+  ref.run(noisy);
+  ShmemSim shm(7, 4);
+  shm.run(noisy);
+  EXPECT_LT(shm.state().max_diff(ref.state()), 1e-11);
+}
+
+TEST(Integration, ParsedQasmThroughFusionAndShmem) {
+  const Circuit parsed = qasm::parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+h q;
+cx q[0],q[5];
+t q[5]; t q[5];   // fuses to S
+rz(0.4) q[2]; rz(-0.4) q[2];  // cancels
+cu1(pi/4) q[1],q[4];
+)",
+                                          CompoundMode::kNative);
+  FusionStats st;
+  const Circuit fused = fuse_gates(parsed, &st);
+  EXPECT_LT(fused.n_gates(), parsed.n_gates());
+
+  SingleSim a(6);
+  a.run(parsed);
+  ShmemSim b(6, 2);
+  b.run(fused);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-10);
+}
+
+TEST(Integration, Table4MediumSuiteOnEveryBackend) {
+  // The full medium suite through peer and shmem tiers — the integration
+  // sweep the figures rely on.
+  for (const auto& id : circuits::medium_ids()) {
+    const Circuit c = circuits::make_table4(id);
+    const IdxType n = c.n_qubits();
+    SingleSim ref(n);
+    ref.run(c);
+    const StateVector truth = ref.state();
+
+    PeerSim peer(n, 4);
+    peer.run(c);
+    EXPECT_LT(peer.state().max_diff(truth), 1e-10) << id;
+
+    ShmemSim shm(n, 4);
+    shm.run(c);
+    EXPECT_LT(shm.state().max_diff(truth), 1e-10) << id;
+  }
+}
+
+} // namespace
+} // namespace svsim

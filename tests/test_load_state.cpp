@@ -1,0 +1,81 @@
+// load_state across every backend: round trip, width validation, and
+// continuing simulation from an injected state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/coarse_msg_sim.hpp"
+#include "core/generalized_sim.hpp"
+#include "core/peer_sim.hpp"
+#include "core/shmem_sim.hpp"
+#include "core/single_sim.hpp"
+
+namespace svsim {
+namespace {
+
+StateVector random_state(IdxType n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector sv(n);
+  ValType norm = 0;
+  for (auto& a : sv.amps) {
+    a = Complex{rng.next_gaussian(), rng.next_gaussian()};
+    norm += std::norm(a);
+  }
+  const ValType inv = 1.0 / std::sqrt(norm);
+  for (auto& a : sv.amps) a *= inv;
+  return sv;
+}
+
+std::vector<std::unique_ptr<Simulator>> all_backends(IdxType n) {
+  std::vector<std::unique_ptr<Simulator>> v;
+  v.push_back(std::make_unique<SingleSim>(n));
+  v.push_back(std::make_unique<PeerSim>(n, 4));
+  v.push_back(std::make_unique<ShmemSim>(n, 4));
+  v.push_back(std::make_unique<CoarseMsgSim>(n, 4));
+  v.push_back(std::make_unique<GeneralizedSim>(n));
+  return v;
+}
+
+TEST(LoadState, RoundTripsOnEveryBackend) {
+  const StateVector sv = random_state(6, 404);
+  for (auto& sim : all_backends(6)) {
+    sim->load_state(sv);
+    EXPECT_LT(sim->state().max_diff(sv), 1e-15) << sim->name();
+  }
+}
+
+TEST(LoadState, SimulationContinuesFromInjectedState) {
+  const StateVector sv = random_state(6, 405);
+  Circuit c(6);
+  c.h(2).cx(2, 4).t(0).rzz(0.7, 1, 5);
+
+  SingleSim ref(6);
+  ref.load_state(sv);
+  ref.run(c);
+  const StateVector truth = ref.state();
+
+  for (auto& sim : all_backends(6)) {
+    sim->load_state(sv);
+    sim->run(c);
+    EXPECT_LT(sim->state().max_diff(truth), 1e-11) << sim->name();
+  }
+}
+
+TEST(LoadState, RejectsWrongWidth) {
+  const StateVector sv = random_state(4, 1);
+  for (auto& sim : all_backends(6)) {
+    EXPECT_THROW(sim->load_state(sv), Error) << sim->name();
+  }
+}
+
+TEST(LoadState, ResetStateOverwritesInjectedState) {
+  SingleSim sim(4);
+  sim.load_state(random_state(4, 2));
+  sim.reset_state();
+  EXPECT_NEAR(sim.state().prob_of(0), 1.0, 1e-15);
+}
+
+} // namespace
+} // namespace svsim

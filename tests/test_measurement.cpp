@@ -1,0 +1,145 @@
+// Measurement semantics: collapse, renormalization, classical bits,
+// sampling statistics, reset, and mid-circuit measurement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/generalized_sim.hpp"
+#include "core/single_sim.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(Measure, DeterministicOutcomeOnBasisState) {
+  SingleSim sim(3);
+  Circuit c(3);
+  c.x(1).measure(0, 0).measure(1, 1).measure(2, 2);
+  sim.run(c);
+  EXPECT_EQ(sim.cbits()[0], 0);
+  EXPECT_EQ(sim.cbits()[1], 1);
+  EXPECT_EQ(sim.cbits()[2], 0);
+  // The state must be exactly |010> afterwards.
+  EXPECT_NEAR(sim.state().prob_of(0b010), 1.0, 1e-12);
+}
+
+TEST(Measure, CollapseRenormalizes) {
+  SingleSim sim(2);
+  Circuit c(2);
+  c.h(0).measure(0, 0);
+  sim.run(c);
+  const StateVector sv = sim.state();
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+  // Post-measurement the qubit is in a definite state matching the cbit.
+  EXPECT_NEAR(sv.prob_of_qubit(0), static_cast<ValType>(sim.cbits()[0]),
+              1e-12);
+}
+
+TEST(Measure, EntangledPairCollapsesTogether) {
+  SimConfig cfg;
+  cfg.seed = 5;
+  SingleSim sim(2, cfg);
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+  sim.run(c);
+  EXPECT_EQ(sim.cbits()[0], sim.cbits()[1]); // Bell correlation
+}
+
+TEST(Measure, OutcomeFrequenciesMatchAmplitudes) {
+  // RY(theta) gives P(1) = sin^2(theta/2); estimate over repeated runs.
+  const ValType theta = 1.1;
+  const ValType expect_p1 = std::sin(theta / 2) * std::sin(theta / 2);
+  int ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    SimConfig cfg;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(i);
+    SingleSim sim(1, cfg);
+    Circuit c(1);
+    c.ry(theta, 0).measure(0, 0);
+    sim.run(c);
+    ones += static_cast<int>(sim.cbits()[0]);
+  }
+  EXPECT_NEAR(static_cast<ValType>(ones) / trials, expect_p1, 0.04);
+}
+
+TEST(Sample, FrequenciesMatchDistribution) {
+  SingleSim sim(3);
+  Circuit c(3);
+  c.h(0).h(1); // uniform over 4 outcomes on qubits 0,1; qubit 2 stays 0
+  sim.run(c);
+  const auto shots = sim.sample(8000);
+  std::map<IdxType, int> hist;
+  for (const IdxType s : shots) ++hist[s];
+  for (IdxType k = 0; k < 4; ++k) {
+    EXPECT_NEAR(hist[k] / 8000.0, 0.25, 0.03) << "outcome " << k;
+  }
+  EXPECT_EQ(hist.count(4), 0u);
+}
+
+TEST(Sample, DoesNotCollapseState) {
+  SingleSim sim(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sim.run(c);
+  (void)sim.sample(100);
+  const StateVector sv = sim.state();
+  EXPECT_NEAR(sv.prob_of(0), 0.5, 1e-12);
+  EXPECT_NEAR(sv.prob_of(3), 0.5, 1e-12);
+}
+
+TEST(Reset, ProjectsToZero) {
+  SingleSim sim(2);
+  Circuit c(2);
+  c.h(0).h(1).reset(0);
+  sim.run(c);
+  const StateVector sv = sim.state();
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(sv.prob_of_qubit(0), 0.0, 1e-12);
+  EXPECT_NEAR(sv.prob_of_qubit(1), 0.5, 1e-12); // untouched
+}
+
+TEST(Reset, HandlesDeterministicOne) {
+  SingleSim sim(1);
+  Circuit c(1);
+  c.x(0).reset(0);
+  sim.run(c);
+  EXPECT_NEAR(sim.state().prob_of(0), 1.0, 1e-12);
+}
+
+TEST(Reset, ReusableAncillaPattern) {
+  // Use an ancilla twice with a reset in between — the mid-circuit pattern
+  // that forces measurement/reset to live inside the simulation kernel.
+  SimConfig cfg;
+  cfg.seed = 9;
+  SingleSim sim(2, cfg);
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure(1, 0).reset(1).h(1).measure(1, 1);
+  sim.run(c);
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-12);
+}
+
+TEST(MeasureAll, RespectsShotCount) {
+  SingleSim sim(4);
+  Circuit c(4);
+  c.h(0);
+  sim.run(c);
+  EXPECT_EQ(sim.sample(0).size(), 0u);
+  EXPECT_EQ(sim.sample(1).size(), 1u);
+  EXPECT_EQ(sim.sample(999).size(), 999u);
+}
+
+TEST(MeasureAll, GeneralizedSimSamplesSameDistribution) {
+  SimConfig cfg;
+  cfg.seed = 4242;
+  SingleSim a(3, cfg);
+  GeneralizedSim b(3, cfg);
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(2).h(2);
+  a.run(c);
+  b.run(c);
+  EXPECT_EQ(a.sample(256), b.sample(256));
+}
+
+} // namespace
+} // namespace svsim

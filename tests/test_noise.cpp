@@ -1,0 +1,110 @@
+// Tests for stochastic Pauli noise injection: determinism, zero-noise
+// identity, fidelity decay with error rate and depth, and distribution
+// flattening under heavy depolarization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/qasmbench.hpp"
+#include "core/noise.hpp"
+#include "core/single_sim.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(Noise, ZeroNoiseLeavesCircuitUnchanged) {
+  const Circuit c = circuits::ghz_state(6);
+  Rng rng(1);
+  const Circuit noisy = inject_pauli_noise(c, NoiseModel{}, rng);
+  EXPECT_EQ(noisy.n_gates(), c.n_gates());
+}
+
+TEST(Noise, InjectionIsDeterministicGivenRngState) {
+  const Circuit c = circuits::qft(6);
+  NoiseModel nm;
+  nm.p1 = 0.3;
+  nm.p2 = 0.3;
+  Rng r1(42), r2(42);
+  const Circuit a = inject_pauli_noise(c, nm, r1);
+  const Circuit b = inject_pauli_noise(c, nm, r2);
+  ASSERT_EQ(a.n_gates(), b.n_gates());
+  for (IdxType i = 0; i < a.n_gates(); ++i) {
+    EXPECT_EQ(a.gates()[static_cast<std::size_t>(i)].op,
+              b.gates()[static_cast<std::size_t>(i)].op);
+  }
+}
+
+TEST(Noise, InjectionRateMatchesProbability) {
+  Circuit c(2);
+  for (int i = 0; i < 500; ++i) c.h(0);
+  NoiseModel nm;
+  nm.p1 = 0.2;
+  Rng rng(7);
+  const Circuit noisy = inject_pauli_noise(c, nm, rng);
+  const IdxType extra = noisy.n_gates() - c.n_gates();
+  EXPECT_NEAR(static_cast<double>(extra) / 500.0, 0.2, 0.06);
+}
+
+TEST(Noise, NeverInjectsAfterNonUnitary) {
+  Circuit c(1);
+  c.measure(0, 0);
+  c.reset(0);
+  NoiseModel nm;
+  nm.p1 = 1.0;
+  Rng rng(3);
+  const Circuit noisy = inject_pauli_noise(c, nm, rng);
+  EXPECT_EQ(noisy.n_gates(), c.n_gates());
+}
+
+TEST(Noise, FidelityDecaysWithErrorRate) {
+  const Circuit c = circuits::qft(6);
+  SingleSim sim(6);
+  NoiseModel low, high;
+  low.p1 = low.p2 = 0.002;
+  high.p1 = high.p2 = 0.05;
+  const ValType f_low = noisy_fidelity(sim, c, low, 30);
+  const ValType f_high = noisy_fidelity(sim, c, high, 30);
+  EXPECT_GT(f_low, f_high);
+  EXPECT_GT(f_low, 0.8);
+  EXPECT_LT(f_high, 0.7);
+}
+
+TEST(Noise, FidelityDecaysWithDepth) {
+  NoiseModel nm;
+  nm.p1 = nm.p2 = 0.01;
+  SingleSim sim(6);
+  const ValType f_shallow =
+      noisy_fidelity(sim, circuits::random_circuit(6, 30, 4), nm, 25);
+  const ValType f_deep =
+      noisy_fidelity(sim, circuits::random_circuit(6, 400, 4), nm, 25);
+  EXPECT_GT(f_shallow, f_deep);
+}
+
+TEST(Noise, HeavyDepolarizationFlattensGhz) {
+  const Circuit c = circuits::ghz_state(4);
+  SingleSim sim(4);
+  NoiseModel nm;
+  nm.p1 = nm.p2 = 0.5;
+  const auto probs = noisy_probabilities(sim, c, nm, 200);
+  // Ideal GHZ puts everything on |0000> and |1111>; heavy noise must leak
+  // substantial mass elsewhere.
+  ValType peak_mass = probs[0] + probs[15];
+  EXPECT_LT(peak_mass, 0.7);
+  // Probabilities still sum to one.
+  ValType total = 0;
+  for (const ValType p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Noise, AveragedProbabilitiesAreDeterministicPerSeed) {
+  const Circuit c = circuits::ghz_state(4);
+  SingleSim sim(4);
+  NoiseModel nm;
+  nm.p1 = 0.1;
+  const auto a = noisy_probabilities(sim, c, nm, 20, 5);
+  const auto b = noisy_probabilities(sim, c, nm, 20, 5);
+  EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace svsim

@@ -1,0 +1,110 @@
+// End-to-end tests over the shipped .qasm example programs: parse from
+// disk, simulate, and verify the algorithmic outcome of each file.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/single_sim.hpp"
+#include "qasm/parser.hpp"
+
+#ifndef SVSIM_QASM_DIR
+#define SVSIM_QASM_DIR "examples/qasm"
+#endif
+
+namespace svsim {
+namespace {
+
+std::string path(const char* file) {
+  return std::string(SVSIM_QASM_DIR) + "/" + file;
+}
+
+TEST(QasmFiles, BellPairCorrelates) {
+  const Circuit c = qasm::parse_qasm_file(path("bell.qasm"));
+  EXPECT_EQ(c.n_qubits(), 2);
+  SimConfig cfg;
+  cfg.seed = 11;
+  SingleSim sim(2, cfg);
+  sim.run(c);
+  EXPECT_EQ(sim.cbits()[0], sim.cbits()[1]);
+}
+
+TEST(QasmFiles, Ghz8TwoPeaks) {
+  const Circuit c = qasm::parse_qasm_file(path("ghz8.qasm"));
+  EXPECT_EQ(c.n_qubits(), 8);
+  SingleSim sim(8);
+  // Strip the trailing measurements to inspect the pure state.
+  Circuit unitary(8);
+  for (const Gate& g : c.gates()) {
+    if (g.op != OP::M && g.op != OP::MA) unitary.append(g);
+  }
+  sim.run(unitary);
+  EXPECT_NEAR(sim.state().prob_of(0), 0.5, 1e-10);
+  EXPECT_NEAR(sim.state().prob_of(255), 0.5, 1e-10);
+}
+
+TEST(QasmFiles, TeleportMovesTheState) {
+  const Circuit c = qasm::parse_qasm_file(path("teleport.qasm"));
+  Circuit unitary(3);
+  for (const Gate& g : c.gates()) {
+    if (is_unitary_op(g.op)) unitary.append(g);
+  }
+  SingleSim sim(3);
+  sim.run(unitary);
+  // q[2]'s marginal must equal the marginal the u3 prepared on q[0].
+  SingleSim ref(3);
+  Circuit prep(3);
+  prep.u3(0.63, 0.21, -1.2, 2);
+  ref.run(prep);
+  EXPECT_NEAR(sim.state().prob_of_qubit(2), ref.state().prob_of_qubit(2),
+              1e-10);
+}
+
+TEST(QasmFiles, Qft4CustomGateWithPowerExpression) {
+  const Circuit c = qasm::parse_qasm_file(path("qft4.qasm"),
+                                          CompoundMode::kNative);
+  SingleSim sim(4);
+  sim.run(c);
+  // QFT of |1010> (x on q1,q3): flat magnitude spectrum.
+  for (const ValType p : sim.state().probabilities()) {
+    EXPECT_NEAR(p, 1.0 / 16.0, 1e-9);
+  }
+  // And the cu1 angles came out as pi/2^k.
+  bool saw_quarter = false;
+  for (const Gate& g : c.gates()) {
+    if (g.op == OP::CU1 && std::abs(g.theta - PI / 8) < 1e-12) {
+      saw_quarter = true;
+    }
+  }
+  EXPECT_TRUE(saw_quarter);
+}
+
+TEST(QasmFiles, Grover2FindsMarkedState) {
+  const Circuit c = qasm::parse_qasm_file(path("grover2.qasm"));
+  Circuit unitary(2);
+  for (const Gate& g : c.gates()) {
+    if (is_unitary_op(g.op)) unitary.append(g);
+  }
+  SingleSim sim(2);
+  sim.run(unitary);
+  EXPECT_NEAR(sim.state().prob_of(0b11), 1.0, 1e-9);
+}
+
+TEST(QasmFiles, VqeAnsatzRunsOnEveryBackendPath) {
+  const Circuit native =
+      qasm::parse_qasm_file(path("vqe_ansatz.qasm"), CompoundMode::kNative);
+  const Circuit lowered = qasm::parse_qasm_file(path("vqe_ansatz.qasm"),
+                                                CompoundMode::kDecompose);
+  SingleSim a(4), b(4);
+  a.run(native);
+  b.run(lowered);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-10);
+  EXPECT_NEAR(a.state().norm(), 1.0, 1e-12);
+}
+
+TEST(QasmFiles, MissingFileThrows) {
+  EXPECT_THROW(qasm::parse_qasm_file(path("does_not_exist.qasm")), Error);
+}
+
+} // namespace
+} // namespace svsim

@@ -1,0 +1,218 @@
+// Tests for the VQA layer: Pauli algebra, optimizers on analytic
+// objectives, the H2 VQE end to end, UCCSD construction/count agreement,
+// and the QNN classifier's training behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/single_sim.hpp"
+#include "vqa/ansatz.hpp"
+#include "vqa/pauli.hpp"
+#include "vqa/qnn.hpp"
+#include "vqa/uccsd.hpp"
+#include "vqa/vqe.hpp"
+
+namespace svsim::vqa {
+namespace {
+
+// --- Pauli observables ---------------------------------------------------
+
+TEST(Pauli, ParseRejectsBadLetters) {
+  EXPECT_NO_THROW(PauliTerm::parse(1.0, "IXYZ"));
+  EXPECT_THROW(PauliTerm::parse(1.0, "IXQ"), Error);
+}
+
+TEST(Pauli, ZExpectationOnBasisStates) {
+  const PauliTerm z0 = PauliTerm::parse(1.0, "ZI");
+  StateVector zero(2);
+  zero.amps[0] = 1.0; // |00>
+  StateVector one(2);
+  one.amps[1] = 1.0; // qubit0 = 1
+  Hamiltonian h;
+  h.terms.push_back(z0);
+  EXPECT_NEAR(h.expectation(zero), 1.0, 1e-12);
+  EXPECT_NEAR(h.expectation(one), -1.0, 1e-12);
+}
+
+TEST(Pauli, XFlipsAndYPhases) {
+  StateVector psi(1);
+  psi.amps[0] = 1.0;
+  const StateVector xp = apply_pauli(PauliTerm::parse(1.0, "X"), psi);
+  EXPECT_NEAR(std::abs(xp.amps[1] - Complex{1, 0}), 0.0, 1e-12);
+  const StateVector yp = apply_pauli(PauliTerm::parse(1.0, "Y"), psi);
+  EXPECT_NEAR(std::abs(yp.amps[1] - Complex{0, 1}), 0.0, 1e-12);
+}
+
+TEST(Pauli, ExpectationMatchesSimulatedRotation) {
+  // <Z> after ry(theta) = cos(theta).
+  for (const ValType theta : {0.0, 0.4, 1.3, 2.9}) {
+    SingleSim sim(1);
+    Circuit c(1);
+    c.ry(theta, 0);
+    sim.run(c);
+    Hamiltonian h;
+    h.terms.push_back(PauliTerm::parse(1.0, "Z"));
+    EXPECT_NEAR(h.expectation(sim.state()), std::cos(theta), 1e-10);
+  }
+}
+
+TEST(Pauli, H2GroundEnergyMatchesDiagonalization) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  const ValType e = h2.ground_energy();
+  // Known total (electronic + nuclear) ground energy of this reduced H2.
+  EXPECT_NEAR(e, -1.1373, 2e-3);
+}
+
+// --- optimizers ------------------------------------------------------------
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const Objective f = [](const std::vector<ValType>& x) {
+    return (x[0] - 1.5) * (x[0] - 1.5) + 2.0 * (x[1] + 0.5) * (x[1] + 0.5);
+  };
+  NelderMead::Options opt;
+  opt.max_iterations = 200;
+  const OptResult r = NelderMead(opt).minimize(f, {0.0, 0.0});
+  EXPECT_NEAR(r.best_params[0], 1.5, 1e-4);
+  EXPECT_NEAR(r.best_params[1], -0.5, 1e-4);
+  EXPECT_LT(r.best_value, 1e-7);
+}
+
+TEST(NelderMead, TraceIsMonotoneNonIncreasing) {
+  const Objective f = [](const std::vector<ValType>& x) {
+    return std::cos(x[0]) + 0.1 * x[0] * x[0];
+  };
+  const OptResult r = NelderMead().minimize(f, {1.0});
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i], r.trace[i - 1] + 1e-12);
+  }
+}
+
+TEST(Spsa, ImprovesNoisyQuadratic) {
+  Rng noise(3);
+  const Objective f = [&](const std::vector<ValType>& x) {
+    ValType s = 0;
+    for (const ValType v : x) s += v * v;
+    return s + 0.01 * noise.next_gaussian();
+  };
+  Spsa::Options opt;
+  opt.max_iterations = 300;
+  const OptResult r = Spsa(opt).minimize(f, {2.0, -1.5, 1.0});
+  EXPECT_LT(r.best_value, 1.0); // started at ~7.25
+}
+
+// --- ansatz / VQE ------------------------------------------------------------
+
+TEST(ParamCircuit, BindInstantiatesAngles) {
+  ParamCircuit pc(2);
+  pc.fixed(make_gate(OP::H, 0));
+  pc.param(OP::RZ, 1, -1, 0, 2.0, 0.5);
+  EXPECT_EQ(pc.n_params(), 1u);
+  const Circuit c = pc.bind({0.25});
+  ASSERT_EQ(c.n_gates(), 2);
+  EXPECT_NEAR(c.gates()[1].theta, 1.0, 1e-15); // 2*0.25 + 0.5
+  EXPECT_THROW(pc.bind({}), Error);
+}
+
+TEST(ParamCircuit, ParamOpMustTakeOneParameter) {
+  ParamCircuit pc(2);
+  EXPECT_THROW(pc.param(OP::H, 0, -1, 0), Error);
+  EXPECT_THROW(pc.param(OP::U3, 0, -1, 0), Error);
+}
+
+TEST(Vqe, H2ConvergesToGroundState) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  SingleSim sim(2);
+  NelderMead::Options opt;
+  opt.max_iterations = 58;
+  const VqeResult r = run_vqe(sim, h2, h2_ucc_ansatz(), NelderMead(opt), {0.0});
+  EXPECT_NEAR(r.energy, h2.ground_energy(), 1e-5);
+  EXPECT_GT(r.circuit_evaluations, 10);
+  EXPECT_EQ(r.trace.size(), 58u);
+}
+
+TEST(Vqe, HardwareEfficientAnsatzAlsoReachesGround) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  SingleSim sim(2);
+  NelderMead::Options opt;
+  opt.max_iterations = 300;
+  opt.initial_step = 0.7;
+  const ParamCircuit ansatz = hardware_efficient_ansatz(2, 1);
+  std::vector<ValType> start(ansatz.n_params(), 0.1);
+  const VqeResult r = run_vqe(sim, h2, ansatz, NelderMead(opt), start);
+  EXPECT_NEAR(r.energy, h2.ground_energy(), 1e-3);
+}
+
+// --- UCCSD -------------------------------------------------------------------
+
+TEST(Uccsd, CountMatchesBuiltCircuit) {
+  for (const IdxType n : {4, 6, 8}) {
+    const UccsdStats s = uccsd_gate_count(n, 1);
+    const std::vector<ValType> params(
+        static_cast<std::size_t>(s.n_parameters), 0.1);
+    const Circuit c = build_uccsd(n, params, 1);
+    EXPECT_EQ(c.n_gates(), s.gates) << n;
+    EXPECT_EQ(c.cx_count(), s.cx) << n;
+  }
+}
+
+TEST(Uccsd, ExcitationCombinatorics) {
+  const UccsdStats s8 = uccsd_gate_count(8, 1);
+  EXPECT_EQ(s8.n_singles, 16); // occ=4, virt=4
+  EXPECT_EQ(s8.n_doubles, 36); // C(4,2)^2
+  EXPECT_EQ(s8.n_parameters, 52);
+}
+
+TEST(Uccsd, QuarticGrowthReachesMillionsAt24) {
+  const IdxType g12 = uccsd_gate_count(12, 1).gates;
+  const IdxType g24 = uccsd_gate_count(24, 1).gates;
+  // n^4 scaling: doubling n should grow volume by roughly 2^4-2^5.
+  EXPECT_GT(g24, 15 * g12);
+  EXPECT_GT(g24, 1000000);
+  EXPECT_THROW(uccsd_gate_count(7), Error); // odd orbital count
+}
+
+TEST(Uccsd, BuiltCircuitIsUnitaryAndNontrivial) {
+  const UccsdStats s = uccsd_gate_count(4, 1);
+  std::vector<ValType> params(static_cast<std::size_t>(s.n_parameters), 0.2);
+  const Circuit c = build_uccsd(4, params, 1);
+  SingleSim sim(4);
+  sim.run(c);
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-9);
+  // Reference state |0011> should no longer hold all the probability.
+  EXPECT_LT(sim.state().prob_of(0b0011), 0.999);
+}
+
+// --- QNN -----------------------------------------------------------------------
+
+TEST(Qnn, DatasetIsBalancedEnough) {
+  const auto data = make_powergrid_dataset(200, 7);
+  int ones = 0;
+  for (const auto& s : data) ones += s.label;
+  EXPECT_GT(ones, 30);
+  EXPECT_LT(ones, 170);
+}
+
+TEST(Qnn, PredictIsAProbability) {
+  QnnClassifier qnn(5);
+  const auto data = make_powergrid_dataset(10, 3);
+  for (const auto& s : data) {
+    const ValType p = qnn.predict(s);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Qnn, TrainingImprovesAccuracy) {
+  const auto data = make_powergrid_dataset(20, 99); // paper: 20 cases
+  QnnClassifier qnn(1);
+  const ValType before = qnn.accuracy(data);
+  const auto stats = qnn.train(data, /*epochs=*/3, /*iters_per_epoch=*/50);
+  const ValType after = qnn.accuracy(data);
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0.6); // paper: 28.11% -> 72.97% after two epochs
+  EXPECT_GT(stats.circuit_evaluations, 1000);
+  ASSERT_EQ(stats.accuracy_trace.size(), 3u);
+}
+
+} // namespace
+} // namespace svsim::vqa
