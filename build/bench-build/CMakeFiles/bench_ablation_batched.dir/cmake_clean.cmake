@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_batched"
+  "../bench/bench_ablation_batched.pdb"
+  "CMakeFiles/bench_ablation_batched.dir/bench_ablation_batched.cpp.o"
+  "CMakeFiles/bench_ablation_batched.dir/bench_ablation_batched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

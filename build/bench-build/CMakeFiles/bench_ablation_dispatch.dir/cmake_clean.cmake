@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dispatch"
+  "../bench/bench_ablation_dispatch.pdb"
+  "CMakeFiles/bench_ablation_dispatch.dir/bench_ablation_dispatch.cpp.o"
+  "CMakeFiles/bench_ablation_dispatch.dir/bench_ablation_dispatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_cpu_scaleup"
+  "../bench/bench_fig07_cpu_scaleup.pdb"
+  "CMakeFiles/bench_fig07_cpu_scaleup.dir/bench_fig07_cpu_scaleup.cpp.o"
+  "CMakeFiles/bench_fig07_cpu_scaleup.dir/bench_fig07_cpu_scaleup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_cpu_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_knl_scaleup"
+  "../bench/bench_fig08_knl_scaleup.pdb"
+  "CMakeFiles/bench_fig08_knl_scaleup.dir/bench_fig08_knl_scaleup.cpp.o"
+  "CMakeFiles/bench_fig08_knl_scaleup.dir/bench_fig08_knl_scaleup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_knl_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

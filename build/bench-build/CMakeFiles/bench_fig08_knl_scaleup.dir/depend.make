@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_knl_scaleup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_summit_cpu_scaleout"
+  "../bench/bench_fig12_summit_cpu_scaleout.pdb"
+  "CMakeFiles/bench_fig12_summit_cpu_scaleout.dir/bench_fig12_summit_cpu_scaleout.cpp.o"
+  "CMakeFiles/bench_fig12_summit_cpu_scaleout.dir/bench_fig12_summit_cpu_scaleout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_summit_cpu_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

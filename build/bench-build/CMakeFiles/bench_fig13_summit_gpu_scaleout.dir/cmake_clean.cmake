@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_summit_gpu_scaleout"
+  "../bench/bench_fig13_summit_gpu_scaleout.pdb"
+  "CMakeFiles/bench_fig13_summit_gpu_scaleout.dir/bench_fig13_summit_gpu_scaleout.cpp.o"
+  "CMakeFiles/bench_fig13_summit_gpu_scaleout.dir/bench_fig13_summit_gpu_scaleout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_summit_gpu_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

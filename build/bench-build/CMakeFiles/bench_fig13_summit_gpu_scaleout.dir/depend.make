@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_summit_gpu_scaleout.
+# This may be replaced when dependencies are built.

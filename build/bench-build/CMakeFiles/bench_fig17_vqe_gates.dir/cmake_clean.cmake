@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_vqe_gates"
+  "../bench/bench_fig17_vqe_gates.pdb"
+  "CMakeFiles/bench_fig17_vqe_gates.dir/bench_fig17_vqe_gates.cpp.o"
+  "CMakeFiles/bench_fig17_vqe_gates.dir/bench_fig17_vqe_gates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_vqe_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_qasmbench.dir/export_qasmbench.cpp.o"
+  "CMakeFiles/export_qasmbench.dir/export_qasmbench.cpp.o.d"
+  "export_qasmbench"
+  "export_qasmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_qasmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_study.dir/noise_study.cpp.o"
+  "CMakeFiles/noise_study.dir/noise_study.cpp.o.d"
+  "noise_study"
+  "noise_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o"
+  "CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o.d"
+  "qasm_runner"
+  "qasm_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

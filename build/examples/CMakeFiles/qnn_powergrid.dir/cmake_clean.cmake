@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_powergrid.dir/qnn_powergrid.cpp.o"
+  "CMakeFiles/qnn_powergrid.dir/qnn_powergrid.cpp.o.d"
+  "qnn_powergrid"
+  "qnn_powergrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_powergrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_demo.dir/scaleout_demo.cpp.o"
+  "CMakeFiles/scaleout_demo.dir/scaleout_demo.cpp.o.d"
+  "scaleout_demo"
+  "scaleout_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_circuits.dir/qasmbench.cpp.o"
+  "CMakeFiles/svsim_circuits.dir/qasmbench.cpp.o.d"
+  "libsvsim_circuits.a"
+  "libsvsim_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

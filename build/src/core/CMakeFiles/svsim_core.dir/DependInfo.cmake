@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coarse_msg_sim.cpp" "src/core/CMakeFiles/svsim_core.dir/coarse_msg_sim.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/coarse_msg_sim.cpp.o.d"
+  "/root/repo/src/core/density_sim.cpp" "src/core/CMakeFiles/svsim_core.dir/density_sim.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/density_sim.cpp.o.d"
+  "/root/repo/src/core/generalized_sim.cpp" "src/core/CMakeFiles/svsim_core.dir/generalized_sim.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/generalized_sim.cpp.o.d"
+  "/root/repo/src/core/noise.cpp" "src/core/CMakeFiles/svsim_core.dir/noise.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/noise.cpp.o.d"
+  "/root/repo/src/core/peer_sim.cpp" "src/core/CMakeFiles/svsim_core.dir/peer_sim.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/peer_sim.cpp.o.d"
+  "/root/repo/src/core/shmem_sim.cpp" "src/core/CMakeFiles/svsim_core.dir/shmem_sim.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/shmem_sim.cpp.o.d"
+  "/root/repo/src/core/simd_kernels.cpp" "src/core/CMakeFiles/svsim_core.dir/simd_kernels.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/simd_kernels.cpp.o.d"
+  "/root/repo/src/core/single_sim.cpp" "src/core/CMakeFiles/svsim_core.dir/single_sim.cpp.o" "gcc" "src/core/CMakeFiles/svsim_core.dir/single_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/svsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/svsim_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

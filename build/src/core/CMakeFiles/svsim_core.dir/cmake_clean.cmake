@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_core.dir/coarse_msg_sim.cpp.o"
+  "CMakeFiles/svsim_core.dir/coarse_msg_sim.cpp.o.d"
+  "CMakeFiles/svsim_core.dir/density_sim.cpp.o"
+  "CMakeFiles/svsim_core.dir/density_sim.cpp.o.d"
+  "CMakeFiles/svsim_core.dir/generalized_sim.cpp.o"
+  "CMakeFiles/svsim_core.dir/generalized_sim.cpp.o.d"
+  "CMakeFiles/svsim_core.dir/noise.cpp.o"
+  "CMakeFiles/svsim_core.dir/noise.cpp.o.d"
+  "CMakeFiles/svsim_core.dir/peer_sim.cpp.o"
+  "CMakeFiles/svsim_core.dir/peer_sim.cpp.o.d"
+  "CMakeFiles/svsim_core.dir/shmem_sim.cpp.o"
+  "CMakeFiles/svsim_core.dir/shmem_sim.cpp.o.d"
+  "CMakeFiles/svsim_core.dir/simd_kernels.cpp.o"
+  "CMakeFiles/svsim_core.dir/simd_kernels.cpp.o.d"
+  "CMakeFiles/svsim_core.dir/single_sim.cpp.o"
+  "CMakeFiles/svsim_core.dir/single_sim.cpp.o.d"
+  "libsvsim_core.a"
+  "libsvsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/circuit.cpp" "src/ir/CMakeFiles/svsim_ir.dir/circuit.cpp.o" "gcc" "src/ir/CMakeFiles/svsim_ir.dir/circuit.cpp.o.d"
+  "/root/repo/src/ir/controlled.cpp" "src/ir/CMakeFiles/svsim_ir.dir/controlled.cpp.o" "gcc" "src/ir/CMakeFiles/svsim_ir.dir/controlled.cpp.o.d"
+  "/root/repo/src/ir/fusion.cpp" "src/ir/CMakeFiles/svsim_ir.dir/fusion.cpp.o" "gcc" "src/ir/CMakeFiles/svsim_ir.dir/fusion.cpp.o.d"
+  "/root/repo/src/ir/matrices.cpp" "src/ir/CMakeFiles/svsim_ir.dir/matrices.cpp.o" "gcc" "src/ir/CMakeFiles/svsim_ir.dir/matrices.cpp.o.d"
+  "/root/repo/src/ir/op.cpp" "src/ir/CMakeFiles/svsim_ir.dir/op.cpp.o" "gcc" "src/ir/CMakeFiles/svsim_ir.dir/op.cpp.o.d"
+  "/root/repo/src/ir/remap.cpp" "src/ir/CMakeFiles/svsim_ir.dir/remap.cpp.o" "gcc" "src/ir/CMakeFiles/svsim_ir.dir/remap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_ir.dir/circuit.cpp.o"
+  "CMakeFiles/svsim_ir.dir/circuit.cpp.o.d"
+  "CMakeFiles/svsim_ir.dir/controlled.cpp.o"
+  "CMakeFiles/svsim_ir.dir/controlled.cpp.o.d"
+  "CMakeFiles/svsim_ir.dir/fusion.cpp.o"
+  "CMakeFiles/svsim_ir.dir/fusion.cpp.o.d"
+  "CMakeFiles/svsim_ir.dir/matrices.cpp.o"
+  "CMakeFiles/svsim_ir.dir/matrices.cpp.o.d"
+  "CMakeFiles/svsim_ir.dir/op.cpp.o"
+  "CMakeFiles/svsim_ir.dir/op.cpp.o.d"
+  "CMakeFiles/svsim_ir.dir/remap.cpp.o"
+  "CMakeFiles/svsim_ir.dir/remap.cpp.o.d"
+  "libsvsim_ir.a"
+  "libsvsim_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/model.cpp" "src/machine/CMakeFiles/svsim_machine.dir/model.cpp.o" "gcc" "src/machine/CMakeFiles/svsim_machine.dir/model.cpp.o.d"
+  "/root/repo/src/machine/platforms.cpp" "src/machine/CMakeFiles/svsim_machine.dir/platforms.cpp.o" "gcc" "src/machine/CMakeFiles/svsim_machine.dir/platforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/svsim_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

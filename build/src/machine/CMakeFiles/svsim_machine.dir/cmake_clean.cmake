@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_machine.dir/model.cpp.o"
+  "CMakeFiles/svsim_machine.dir/model.cpp.o.d"
+  "CMakeFiles/svsim_machine.dir/platforms.cpp.o"
+  "CMakeFiles/svsim_machine.dir/platforms.cpp.o.d"
+  "libsvsim_machine.a"
+  "libsvsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

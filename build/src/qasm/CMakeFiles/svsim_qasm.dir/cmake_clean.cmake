@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_qasm.dir/lexer.cpp.o"
+  "CMakeFiles/svsim_qasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/svsim_qasm.dir/parser.cpp.o"
+  "CMakeFiles/svsim_qasm.dir/parser.cpp.o.d"
+  "libsvsim_qasm.a"
+  "libsvsim_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

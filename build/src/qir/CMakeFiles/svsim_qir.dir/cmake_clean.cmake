@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_qir.dir/qir.cpp.o"
+  "CMakeFiles/svsim_qir.dir/qir.cpp.o.d"
+  "libsvsim_qir.a"
+  "libsvsim_qir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_qir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_shmem.dir/shmem.cpp.o"
+  "CMakeFiles/svsim_shmem.dir/shmem.cpp.o.d"
+  "libsvsim_shmem.a"
+  "libsvsim_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vqa/ansatz.cpp" "src/vqa/CMakeFiles/svsim_vqa.dir/ansatz.cpp.o" "gcc" "src/vqa/CMakeFiles/svsim_vqa.dir/ansatz.cpp.o.d"
+  "/root/repo/src/vqa/batched.cpp" "src/vqa/CMakeFiles/svsim_vqa.dir/batched.cpp.o" "gcc" "src/vqa/CMakeFiles/svsim_vqa.dir/batched.cpp.o.d"
+  "/root/repo/src/vqa/optimizer.cpp" "src/vqa/CMakeFiles/svsim_vqa.dir/optimizer.cpp.o" "gcc" "src/vqa/CMakeFiles/svsim_vqa.dir/optimizer.cpp.o.d"
+  "/root/repo/src/vqa/pauli.cpp" "src/vqa/CMakeFiles/svsim_vqa.dir/pauli.cpp.o" "gcc" "src/vqa/CMakeFiles/svsim_vqa.dir/pauli.cpp.o.d"
+  "/root/repo/src/vqa/qnn.cpp" "src/vqa/CMakeFiles/svsim_vqa.dir/qnn.cpp.o" "gcc" "src/vqa/CMakeFiles/svsim_vqa.dir/qnn.cpp.o.d"
+  "/root/repo/src/vqa/uccsd.cpp" "src/vqa/CMakeFiles/svsim_vqa.dir/uccsd.cpp.o" "gcc" "src/vqa/CMakeFiles/svsim_vqa.dir/uccsd.cpp.o.d"
+  "/root/repo/src/vqa/vqe.cpp" "src/vqa/CMakeFiles/svsim_vqa.dir/vqe.cpp.o" "gcc" "src/vqa/CMakeFiles/svsim_vqa.dir/vqe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/svsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/svsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/svsim_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

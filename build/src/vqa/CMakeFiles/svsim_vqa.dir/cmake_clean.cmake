@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_vqa.dir/ansatz.cpp.o"
+  "CMakeFiles/svsim_vqa.dir/ansatz.cpp.o.d"
+  "CMakeFiles/svsim_vqa.dir/batched.cpp.o"
+  "CMakeFiles/svsim_vqa.dir/batched.cpp.o.d"
+  "CMakeFiles/svsim_vqa.dir/optimizer.cpp.o"
+  "CMakeFiles/svsim_vqa.dir/optimizer.cpp.o.d"
+  "CMakeFiles/svsim_vqa.dir/pauli.cpp.o"
+  "CMakeFiles/svsim_vqa.dir/pauli.cpp.o.d"
+  "CMakeFiles/svsim_vqa.dir/qnn.cpp.o"
+  "CMakeFiles/svsim_vqa.dir/qnn.cpp.o.d"
+  "CMakeFiles/svsim_vqa.dir/uccsd.cpp.o"
+  "CMakeFiles/svsim_vqa.dir/uccsd.cpp.o.d"
+  "CMakeFiles/svsim_vqa.dir/vqe.cpp.o"
+  "CMakeFiles/svsim_vqa.dir/vqe.cpp.o.d"
+  "libsvsim_vqa.a"
+  "libsvsim_vqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_vqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

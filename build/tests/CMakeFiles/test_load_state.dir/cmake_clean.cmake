@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_state.dir/test_load_state.cpp.o"
+  "CMakeFiles/test_load_state.dir/test_load_state.cpp.o.d"
+  "test_load_state"
+  "test_load_state.pdb"
+  "test_load_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

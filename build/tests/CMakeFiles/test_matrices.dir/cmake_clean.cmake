@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrices.dir/test_matrices.cpp.o"
+  "CMakeFiles/test_matrices.dir/test_matrices.cpp.o.d"
+  "test_matrices"
+  "test_matrices.pdb"
+  "test_matrices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm_files.dir/test_qasm_files.cpp.o"
+  "CMakeFiles/test_qasm_files.dir/test_qasm_files.cpp.o.d"
+  "test_qasm_files"
+  "test_qasm_files.pdb"
+  "test_qasm_files[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

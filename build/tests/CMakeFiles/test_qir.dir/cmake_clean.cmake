@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qir.dir/test_qir.cpp.o"
+  "CMakeFiles/test_qir.dir/test_qir.cpp.o.d"
+  "test_qir"
+  "test_qir.pdb"
+  "test_qir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vqa.dir/test_vqa.cpp.o"
+  "CMakeFiles/test_vqa.dir/test_vqa.cpp.o.d"
+  "test_vqa"
+  "test_vqa.pdb"
+  "test_vqa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

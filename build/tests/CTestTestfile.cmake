@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bits[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_shmem[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_matrices[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_backends[1]_include.cmake")
+include("/root/repo/build/tests/test_measurement[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm[1]_include.cmake")
+include("/root/repo/build/tests/test_circuits[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_vqa[1]_include.cmake")
+include("/root/repo/build/tests/test_qir[1]_include.cmake")
+include("/root/repo/build/tests/test_fusion[1]_include.cmake")
+include("/root/repo/build/tests/test_batched[1]_include.cmake")
+include("/root/repo/build/tests/test_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm_files[1]_include.cmake")
+include("/root/repo/build/tests/test_load_state[1]_include.cmake")
+include("/root/repo/build/tests/test_controlled[1]_include.cmake")
+include("/root/repo/build/tests/test_density[1]_include.cmake")
+include("/root/repo/build/tests/test_remap[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
