@@ -1,13 +1,118 @@
 // Shared table-formatting helpers for the figure-reproduction benches.
 // Every bench prints (a) the series the paper's figure plots, and (b) a
 // short "shape check" summarizing the qualitative claim being reproduced.
+//
+// When SVSIM_BENCH_JSON=<path> is set, every printed table is also
+// appended to a machine-readable JSON document at <path> (rewritten on
+// each table so a valid file exists at all times):
+//
+//   { "tables": [ { "title": ..., "corner": ..., "columns": [...],
+//                   "rows": [ { "label": ..., "values": [...] } ] } ] }
+//
+// so BENCH_*.json trajectories can be captured without parsing stdout.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace svsim::bench {
+
+namespace detail {
+
+struct JsonTable {
+  std::string title; // most recent print_header title
+  std::string corner;
+  std::vector<std::string> columns;
+  std::vector<std::pair<std::string, std::vector<double>>> rows;
+};
+
+struct JsonSink {
+  std::string path;   // from SVSIM_BENCH_JSON; empty = disabled
+  std::string title;  // current section (print_header)
+  std::vector<JsonTable> tables;
+
+  static JsonSink& instance() {
+    static JsonSink s = [] {
+      JsonSink init;
+      const char* p = std::getenv("SVSIM_BENCH_JSON");
+      if (p != nullptr) init.path = p;
+      return init;
+    }();
+    return s;
+  }
+};
+
+inline void json_escape_to(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Rewrite the whole JSON document from the accumulated tables.
+inline void json_write_all() {
+  JsonSink& sink = JsonSink::instance();
+  if (sink.path.empty()) return;
+  std::string out = "{\"tables\":[";
+  bool first_table = true;
+  for (const JsonTable& t : sink.tables) {
+    if (!first_table) out += ',';
+    first_table = false;
+    out += "\n{\"title\":\"";
+    json_escape_to(out, t.title);
+    out += "\",\"corner\":\"";
+    json_escape_to(out, t.corner);
+    out += "\",\"columns\":[";
+    for (std::size_t i = 0; i < t.columns.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '"';
+      json_escape_to(out, t.columns[i]);
+      out += '"';
+    }
+    out += "],\"rows\":[";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      if (r != 0) out += ',';
+      out += "\n {\"label\":\"";
+      json_escape_to(out, t.rows[r].first);
+      out += "\",\"values\":[";
+      for (std::size_t v = 0; v < t.rows[r].second.size(); ++v) {
+        if (v != 0) out += ',';
+        const double x = t.rows[r].second[v];
+        if (std::isfinite(x)) {
+          char buf[40];
+          std::snprintf(buf, sizeof(buf), "%.12g", x);
+          out += buf;
+        } else {
+          out += "null"; // JSON has no NaN/Inf
+        }
+      }
+      out += "]}";
+    }
+    out += "\n]}";
+  }
+  out += "\n]}\n";
+  if (std::FILE* f = std::fopen(sink.path.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+}
+
+} // namespace detail
 
 inline void print_header(const std::string& title,
                          const std::string& description) {
@@ -15,6 +120,7 @@ inline void print_header(const std::string& title,
   std::printf("%s\n", title.c_str());
   std::printf("%s\n", description.c_str());
   std::printf("================================================================\n");
+  detail::JsonSink::instance().title = title;
 }
 
 /// Print a row-label column followed by one value per series column.
@@ -37,6 +143,7 @@ public:
       for (const double v : r.values) std::printf(fmt, v);
       std::printf("\n");
     }
+    emit_json();
   }
 
 private:
@@ -44,6 +151,21 @@ private:
     std::string label;
     std::vector<double> values;
   };
+
+  /// Mirror this table into the SVSIM_BENCH_JSON document (no-op when the
+  /// env var is unset).
+  void emit_json() const {
+    detail::JsonSink& sink = detail::JsonSink::instance();
+    if (sink.path.empty()) return;
+    detail::JsonTable t;
+    t.title = sink.title;
+    t.corner = corner_;
+    t.columns = columns_;
+    for (const Row& r : rows_) t.rows.emplace_back(r.label, r.values);
+    sink.tables.push_back(std::move(t));
+    detail::json_write_all();
+  }
+
   std::string corner_;
   std::vector<std::string> columns_;
   std::vector<Row> rows_;

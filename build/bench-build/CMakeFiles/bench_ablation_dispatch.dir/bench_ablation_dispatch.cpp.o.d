@@ -243,22 +243,25 @@ bench-build/CMakeFiles/bench_ablation_dispatch.dir/bench_ablation_dispatch.cpp.o
  /root/repo/src/core/kernels/gates1q.hpp \
  /root/repo/src/core/kernels/apply.hpp /root/repo/src/common/bits.hpp \
  /root/repo/src/core/kernels/gates2q.hpp \
- /root/repo/src/core/kernels/nonunitary.hpp /root/repo/src/core/space.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/shmem/barrier.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/kernels/nonunitary.hpp /root/repo/src/obs/span.hpp \
+ /root/repo/src/obs/report.hpp /root/repo/src/ir/fusion.hpp \
+ /root/repo/src/ir/matrices.hpp /root/repo/src/shmem/shmem.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/common/aligned.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/shmem/barrier.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
- /root/repo/src/shmem/shmem.hpp /root/repo/src/common/aligned.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /root/repo/src/obs/trace.hpp /root/repo/src/core/space.hpp \
+ /root/repo/src/common/rng.hpp

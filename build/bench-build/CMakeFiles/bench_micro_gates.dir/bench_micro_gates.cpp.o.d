@@ -243,7 +243,14 @@ bench-build/CMakeFiles/bench_micro_gates.dir/bench_micro_gates.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/core/state_vector.hpp /root/repo/src/common/bits.hpp \
  /root/repo/src/ir/circuit.hpp /root/repo/src/ir/gate.hpp \
- /root/repo/src/ir/op.hpp /root/repo/src/core/space.hpp \
+ /root/repo/src/ir/op.hpp /root/repo/src/ir/fusion.hpp \
+ /root/repo/src/ir/matrices.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/report.hpp /root/repo/src/shmem/shmem.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/shmem/barrier.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
@@ -253,15 +260,10 @@ bench-build/CMakeFiles/bench_micro_gates.dir/bench_micro_gates.cpp.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/mutex /root/repo/src/shmem/shmem.hpp \
- /root/repo/src/ir/matrices.hpp /root/repo/src/core/single_sim.hpp \
- /root/repo/src/core/dispatch.hpp /root/repo/src/core/kernels/gates1q.hpp \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /root/repo/src/obs/trace.hpp /root/repo/src/core/space.hpp \
+ /root/repo/src/core/single_sim.hpp /root/repo/src/core/dispatch.hpp \
+ /root/repo/src/core/kernels/gates1q.hpp \
  /root/repo/src/core/kernels/apply.hpp \
  /root/repo/src/core/kernels/gates2q.hpp \
- /root/repo/src/core/kernels/nonunitary.hpp
+ /root/repo/src/core/kernels/nonunitary.hpp /root/repo/src/obs/span.hpp

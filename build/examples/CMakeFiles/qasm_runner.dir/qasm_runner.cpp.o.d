@@ -229,10 +229,16 @@ examples/CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/coarse_msg_sim.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -240,19 +246,14 @@ examples/CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/aligned.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/config.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/core/simulator.hpp \
- /root/repo/src/core/state_vector.hpp /root/repo/src/ir/circuit.hpp \
- /root/repo/src/ir/gate.hpp /root/repo/src/ir/op.hpp \
+ /root/repo/src/common/aligned.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/common/config.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/core/simulator.hpp /root/repo/src/core/state_vector.hpp \
+ /root/repo/src/ir/circuit.hpp /root/repo/src/ir/gate.hpp \
+ /root/repo/src/ir/op.hpp /root/repo/src/ir/fusion.hpp \
  /root/repo/src/ir/matrices.hpp /usr/include/c++/12/array \
- /root/repo/src/core/generalized_sim.hpp /root/repo/src/core/space.hpp \
- /root/repo/src/shmem/barrier.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/obs/report.hpp /root/repo/src/shmem/shmem.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -261,7 +262,8 @@ examples/CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/shmem/shmem.hpp /root/repo/src/core/peer_sim.hpp \
+ /root/repo/src/shmem/barrier.hpp /root/repo/src/core/generalized_sim.hpp \
+ /root/repo/src/core/space.hpp /root/repo/src/core/peer_sim.hpp \
  /root/repo/src/core/dispatch.hpp /root/repo/src/core/kernels/gates1q.hpp \
  /root/repo/src/core/kernels/apply.hpp \
  /root/repo/src/core/kernels/gates2q.hpp \
@@ -269,5 +271,5 @@ examples/CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/shmem_sim.hpp /root/repo/src/core/single_sim.hpp \
- /root/repo/src/qasm/parser.hpp
+ /root/repo/src/obs/span.hpp /root/repo/src/core/shmem_sim.hpp \
+ /root/repo/src/core/single_sim.hpp /root/repo/src/qasm/parser.hpp

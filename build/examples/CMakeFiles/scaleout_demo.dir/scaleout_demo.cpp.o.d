@@ -242,25 +242,31 @@ examples/CMakeFiles/scaleout_demo.dir/scaleout_demo.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/config.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/core/simulator.hpp /root/repo/src/core/state_vector.hpp \
- /root/repo/src/common/bits.hpp /root/repo/src/ir/matrices.hpp \
- /usr/include/c++/12/array /root/repo/src/core/peer_sim.hpp \
- /root/repo/src/core/dispatch.hpp /root/repo/src/core/kernels/gates1q.hpp \
- /root/repo/src/core/kernels/apply.hpp \
- /root/repo/src/core/kernels/gates2q.hpp \
- /root/repo/src/core/kernels/nonunitary.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/space.hpp /root/repo/src/shmem/barrier.hpp \
+ /root/repo/src/common/bits.hpp /root/repo/src/ir/fusion.hpp \
+ /root/repo/src/ir/matrices.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/report.hpp /root/repo/src/shmem/shmem.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/shmem/shmem.hpp \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/shmem/barrier.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/peer_sim.hpp \
+ /root/repo/src/core/dispatch.hpp /root/repo/src/core/kernels/gates1q.hpp \
+ /root/repo/src/core/kernels/apply.hpp \
+ /root/repo/src/core/kernels/gates2q.hpp \
+ /root/repo/src/core/kernels/nonunitary.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/obs/span.hpp /root/repo/src/core/space.hpp \
  /root/repo/src/core/shmem_sim.hpp /root/repo/src/core/single_sim.hpp

@@ -7,6 +7,7 @@
 subdirs("common")
 subdirs("shmem")
 subdirs("ir")
+subdirs("obs")
 subdirs("core")
 subdirs("qasm")
 subdirs("machine")

@@ -241,12 +241,28 @@ src/core/CMakeFiles/svsim_core.dir/coarse_msg_sim.cpp.o: \
  /root/repo/src/core/simulator.hpp /root/repo/src/core/state_vector.hpp \
  /root/repo/src/common/bits.hpp /root/repo/src/ir/circuit.hpp \
  /root/repo/src/ir/gate.hpp /root/repo/src/ir/op.hpp \
- /root/repo/src/ir/matrices.hpp /usr/include/c++/12/array \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/ir/fusion.hpp /root/repo/src/ir/matrices.hpp \
+ /usr/include/c++/12/array /root/repo/src/obs/report.hpp \
+ /root/repo/src/shmem/shmem.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/shmem/barrier.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/common/logging.hpp \
+ /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/obs/registry.hpp /root/repo/src/obs/span.hpp

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/registry.cpp" "src/obs/CMakeFiles/svsim_obs.dir/registry.cpp.o" "gcc" "src/obs/CMakeFiles/svsim_obs.dir/registry.cpp.o.d"
+  "/root/repo/src/obs/report.cpp" "src/obs/CMakeFiles/svsim_obs.dir/report.cpp.o" "gcc" "src/obs/CMakeFiles/svsim_obs.dir/report.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/obs/CMakeFiles/svsim_obs.dir/trace.cpp.o" "gcc" "src/obs/CMakeFiles/svsim_obs.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/svsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/svsim_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

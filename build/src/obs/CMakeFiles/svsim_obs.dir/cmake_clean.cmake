@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_obs.dir/registry.cpp.o"
+  "CMakeFiles/svsim_obs.dir/registry.cpp.o.d"
+  "CMakeFiles/svsim_obs.dir/report.cpp.o"
+  "CMakeFiles/svsim_obs.dir/report.cpp.o.d"
+  "CMakeFiles/svsim_obs.dir/trace.cpp.o"
+  "CMakeFiles/svsim_obs.dir/trace.cpp.o.d"
+  "libsvsim_obs.a"
+  "libsvsim_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/svsim_ir.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/svsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/svsim_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/shmem/CMakeFiles/svsim_shmem.dir/DependInfo.cmake"
   )
 

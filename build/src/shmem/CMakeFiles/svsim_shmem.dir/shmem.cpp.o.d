@@ -240,4 +240,5 @@ src/shmem/CMakeFiles/svsim_shmem.dir/shmem.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/common/bits.hpp /usr/include/c++/12/thread
+ /root/repo/src/common/bits.hpp /root/repo/src/common/logging.hpp \
+ /usr/include/c++/12/thread

@@ -331,15 +331,17 @@ tests/CMakeFiles/test_backends.dir/test_backends.cpp.o: \
  /root/repo/src/common/config.hpp /root/repo/src/core/simulator.hpp \
  /root/repo/src/core/state_vector.hpp /root/repo/src/common/bits.hpp \
  /root/repo/src/ir/circuit.hpp /root/repo/src/ir/gate.hpp \
- /root/repo/src/ir/op.hpp /root/repo/src/ir/matrices.hpp \
- /root/repo/src/core/generalized_sim.hpp /root/repo/src/core/space.hpp \
- /root/repo/src/shmem/barrier.hpp /root/repo/src/shmem/shmem.hpp \
- /root/repo/src/core/peer_sim.hpp /root/repo/src/core/dispatch.hpp \
- /root/repo/src/core/kernels/gates1q.hpp \
+ /root/repo/src/ir/op.hpp /root/repo/src/ir/fusion.hpp \
+ /root/repo/src/ir/matrices.hpp /root/repo/src/obs/report.hpp \
+ /root/repo/src/shmem/shmem.hpp /root/repo/src/shmem/barrier.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/core/generalized_sim.hpp \
+ /root/repo/src/core/space.hpp /root/repo/src/core/peer_sim.hpp \
+ /root/repo/src/core/dispatch.hpp /root/repo/src/core/kernels/gates1q.hpp \
  /root/repo/src/core/kernels/apply.hpp \
  /root/repo/src/core/kernels/gates2q.hpp \
  /root/repo/src/core/kernels/nonunitary.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/shmem_sim.hpp /root/repo/src/core/single_sim.hpp
+ /root/repo/src/obs/span.hpp /root/repo/src/core/shmem_sim.hpp \
+ /root/repo/src/core/single_sim.hpp

@@ -323,17 +323,18 @@ tests/CMakeFiles/test_density.dir/test_density.cpp.o: \
  /root/repo/src/common/aligned.hpp /usr/include/c++/12/cstring \
  /root/repo/src/common/config.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/core/simulator.hpp /root/repo/src/core/state_vector.hpp \
- /root/repo/src/common/bits.hpp /root/repo/src/core/space.hpp \
- /root/repo/src/shmem/barrier.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/common/bits.hpp /root/repo/src/ir/fusion.hpp \
+ /root/repo/src/ir/matrices.hpp /root/repo/src/obs/report.hpp \
+ /root/repo/src/shmem/shmem.hpp /root/repo/src/shmem/barrier.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/shmem/shmem.hpp /root/repo/src/ir/matrices.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/core/space.hpp \
  /root/repo/src/core/noise.hpp /root/repo/src/core/single_sim.hpp \
  /root/repo/src/core/dispatch.hpp /root/repo/src/core/kernels/gates1q.hpp \
  /root/repo/src/core/kernels/apply.hpp \
@@ -341,4 +342,5 @@ tests/CMakeFiles/test_density.dir/test_density.cpp.o: \
  /root/repo/src/core/kernels/nonunitary.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/obs/span.hpp

@@ -328,8 +328,9 @@ tests/CMakeFiles/test_qasm_roundtrip.dir/test_qasm_roundtrip.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/simulator.hpp /root/repo/src/core/state_vector.hpp \
- /root/repo/src/core/space.hpp /root/repo/src/shmem/barrier.hpp \
+ /root/repo/src/obs/span.hpp /root/repo/src/obs/report.hpp \
+ /root/repo/src/ir/fusion.hpp /root/repo/src/ir/matrices.hpp \
+ /root/repo/src/shmem/shmem.hpp /root/repo/src/shmem/barrier.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -338,4 +339,6 @@ tests/CMakeFiles/test_qasm_roundtrip.dir/test_qasm_roundtrip.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/shmem/shmem.hpp /root/repo/src/qasm/parser.hpp
+ /root/repo/src/obs/trace.hpp /root/repo/src/core/simulator.hpp \
+ /root/repo/src/core/state_vector.hpp /root/repo/src/core/space.hpp \
+ /root/repo/src/qasm/parser.hpp

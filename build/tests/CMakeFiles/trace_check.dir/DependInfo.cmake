@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_check.cpp" "tests/CMakeFiles/trace_check.dir/trace_check.cpp.o" "gcc" "tests/CMakeFiles/trace_check.dir/trace_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qasm/CMakeFiles/svsim_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/svsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/svsim_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/vqa/CMakeFiles/svsim_vqa.dir/DependInfo.cmake"
+  "/root/repo/build/src/qir/CMakeFiles/svsim_qir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/svsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/svsim_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/svsim_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/svsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

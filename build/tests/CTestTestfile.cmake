@@ -28,3 +28,6 @@ include("/root/repo/build/tests/test_remap[1]_include.cmake")
 include("/root/repo/build/tests/test_distributed_stress[1]_include.cmake")
 include("/root/repo/build/tests/test_qasm_roundtrip[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")
+add_test(profile_smoke "/usr/bin/cmake" "-DRUNNER=/root/repo/build/examples/qasm_runner" "-DTRACE_CHECK=/root/repo/build/tests/trace_check" "-DQASM=/root/repo/examples/qasm/ghz8.qasm" "-DWORK_DIR=/root/repo/build/tests" "-P" "/root/repo/tests/profile_smoke.cmake")
+set_tests_properties(profile_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")

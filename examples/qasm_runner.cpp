@@ -5,6 +5,12 @@
 //
 //   $ ./examples/qasm_runner [file.qasm] [--backend single|peer|shmem|
 //                            coarse|generalized] [--workers K] [--shots N]
+//                            [--profile trace.json]
+//
+// --profile (or the SVSIM_PROFILE=<path> environment variable) turns on
+// per-gate profiling: the run report breakdown is printed and a Chrome
+// trace-event file (chrome://tracing / Perfetto) is written with one
+// track per PE.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -14,6 +20,7 @@
 #include "common/bits.hpp"
 
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "core/coarse_msg_sim.hpp"
 #include "core/generalized_sim.hpp"
 #include "core/peer_sim.hpp"
@@ -37,15 +44,22 @@ measure q -> c;
 
 std::unique_ptr<svsim::Simulator> make_backend(const std::string& name,
                                                svsim::IdxType n_qubits,
-                                               int workers) {
+                                               int workers,
+                                               svsim::SimConfig cfg) {
   using namespace svsim;
-  if (name == "single") return std::make_unique<SingleSim>(n_qubits);
-  if (name == "peer") return std::make_unique<PeerSim>(n_qubits, workers);
-  if (name == "shmem") return std::make_unique<ShmemSim>(n_qubits, workers);
-  if (name == "coarse") {
-    return std::make_unique<CoarseMsgSim>(n_qubits, workers);
+  if (name == "single") return std::make_unique<SingleSim>(n_qubits, cfg);
+  if (name == "peer") {
+    return std::make_unique<PeerSim>(n_qubits, workers, cfg);
   }
-  if (name == "generalized") return std::make_unique<GeneralizedSim>(n_qubits);
+  if (name == "shmem") {
+    return std::make_unique<ShmemSim>(n_qubits, workers, cfg);
+  }
+  if (name == "coarse") {
+    return std::make_unique<CoarseMsgSim>(n_qubits, workers, cfg);
+  }
+  if (name == "generalized") {
+    return std::make_unique<GeneralizedSim>(n_qubits, cfg);
+  }
   throw Error("unknown backend: " + name +
               " (expected single|peer|shmem|coarse|generalized)");
 }
@@ -59,6 +73,7 @@ int main(int argc, char** argv) {
   std::string backend = "single";
   int workers = 4;
   IdxType shots = 1024;
+  SimConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--backend" && i + 1 < argc) {
@@ -67,10 +82,15 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (arg == "--shots" && i + 1 < argc) {
       shots = std::atoll(argv[++i]);
+    } else if (arg == "--profile" && i + 1 < argc) {
+      cfg.profile = true;
+      obs::Trace::global().set_path(argv[++i]);
     } else {
       file = arg;
     }
   }
+  // SVSIM_PROFILE=<path> alone also enables profiling (handled inside the
+  // backends); cfg.profile just mirrors the explicit flag.
 
   try {
     const Circuit circuit = file.empty()
@@ -82,11 +102,19 @@ int main(int argc, char** argv) {
                 static_cast<long long>(circuit.n_gates()),
                 static_cast<long long>(circuit.cx_count()));
 
-    auto sim = make_backend(backend, circuit.n_qubits(), workers);
+    auto sim = make_backend(backend, circuit.n_qubits(), workers, cfg);
     Timer timer;
     sim->run(circuit);
     const double ms = timer.millis();
     std::printf("backend %s: executed in %.3f ms\n", sim->name(), ms);
+
+    if (sim->last_report().profiled) {
+      std::printf("%s", sim->last_report().summary().c_str());
+      if (obs::Trace::global().enabled()) {
+        std::printf("trace: %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                    obs::Trace::global().path().c_str());
+      }
+    }
 
     // Classical register from in-circuit measurements, if any.
     if (circuit.count_op(OP::M) > 0) {

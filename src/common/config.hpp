@@ -26,6 +26,11 @@ struct SimConfig {
   std::uint64_t seed = 42;
   /// Record per-gate communication counters (scale-up/scale-out backends).
   bool count_traffic = true;
+  /// Collect per-gate timing into the RunReport (and, when a trace path
+  /// is configured via SVSIM_PROFILE or obs::Trace::set_path, Chrome
+  /// trace events). Setting SVSIM_PROFILE also turns profiling on without
+  /// this flag; default off keeps the gate loop free of timer calls.
+  bool profile = false;
 };
 
 } // namespace svsim

@@ -2,12 +2,36 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
+
+#include <chrono>
 
 namespace svsim {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+int level_from_env() {
+  const char* e = std::getenv("SVSIM_LOG_LEVEL");
+  if (e == nullptr || *e == '\0') return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(e, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(e, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(e, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(e, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (e[0] >= '0' && e[0] <= '3' && e[1] == '\0') return e[0] - '0';
+  return static_cast<int>(LogLevel::kWarn); // unparseable: keep the default
+}
+
+bool timestamps_from_env() {
+  const char* e = std::getenv("SVSIM_LOG_TIMESTAMPS");
+  return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}
+
+std::atomic<int> g_level{level_from_env()};
+std::atomic<bool> g_timestamps{timestamps_from_env()};
+thread_local int t_pe = -1;
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -19,6 +43,7 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 } // namespace
 
 void set_log_level(LogLevel level) {
@@ -29,9 +54,34 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_pe(int pe) { t_pe = pe; }
+
+int log_pe() { return t_pe; }
+
+void set_log_timestamps(bool on) {
+  g_timestamps.store(on, std::memory_order_relaxed);
+}
+
 void log_line(LogLevel level, const std::string& msg) {
+  char stamp[24] = "";
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d ", tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  }
+  char pe_tag[16] = "";
+  if (t_pe >= 0) std::snprintf(pe_tag, sizeof(pe_tag), "[pe %d] ", t_pe);
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[svsim] %-5s %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[svsim] %s%-5s %s%s\n", stamp, level_name(level),
+               pe_tag, msg.c_str());
 }
 
 } // namespace svsim

@@ -12,11 +12,24 @@ namespace svsim {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
-/// Global log threshold; messages above it are dropped.
+/// Global log threshold; messages above it are dropped. The initial value
+/// honors the SVSIM_LOG_LEVEL environment variable ("error" | "warn" |
+/// "info" | "debug", or the numeric level 0-3), defaulting to warn.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line at the given level (adds a "[svsim] LEVEL " prefix).
+/// Tag this thread's log lines with a PE/worker id ("[pe K]"); -1 (the
+/// default) removes the tag. Distributed runtimes set it on each worker
+/// thread so interleaved SPMD output stays attributable.
+void set_log_pe(int pe);
+int log_pe();
+
+/// Prefix every line with a wall-clock timestamp (HH:MM:SS.mmm). Off by
+/// default; also enabled by setting SVSIM_LOG_TIMESTAMPS=1.
+void set_log_timestamps(bool on);
+
+/// Emit one line at the given level (adds a "[svsim] LEVEL " prefix, plus
+/// the optional timestamp and per-thread PE tag).
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -28,9 +28,29 @@ public:
 
   double micros() const { return seconds() * 1e6; }
 
+  class ScopedAccum;
+
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII accumulator: adds the elapsed seconds to the bound double on
+/// destruction. Replaces the manual start/stop-and-add pairs scattered
+/// through the backends and VQA drivers:
+///
+///   { Timer::ScopedAccum t(total_seconds); expensive_work(); }
+class Timer::ScopedAccum {
+public:
+  explicit ScopedAccum(double& acc) : acc_(acc) {}
+  ~ScopedAccum() { acc_ += timer_.seconds(); }
+
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+private:
+  Timer timer_;
+  double& acc_;
 };
 
 } // namespace svsim

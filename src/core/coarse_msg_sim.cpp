@@ -6,6 +6,10 @@
 #include <thread>
 
 #include "common/bits.hpp"
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace svsim {
 
@@ -23,8 +27,9 @@ public:
         imag_(sim->imag_parts_[static_cast<std::size_t>(rank)].data()),
         rng_(&sim->rngs_[static_cast<std::size_t>(rank)]) {}
 
-  void execute(const std::vector<Gate>& gates) {
+  void execute(const std::vector<Gate>& gates, obs::GateRecorder* rec) {
     for (const Gate& g : gates) {
+      obs::Span span(rec, rank_, g.op);
       switch (g.op) {
         case OP::M: apply_measure(g); break;
         case OP::MA: apply_measure_all(); break;
@@ -442,16 +447,36 @@ void CoarseMsgSim::reset_state() {
 }
 
 void CoarseMsgSim::execute(const Circuit& circuit) {
+  static obs::Counter& runs = obs::Registry::global().counter("runs.coarse");
+  runs.add();
+  obs::RunReport& rep = begin_report(circuit, n_ranks_);
+
   stats_.assign(static_cast<std::size_t>(n_ranks_), MsgStats{});
+
+  std::unique_ptr<obs::GateRecorder> rec;
+  if (profiling_on(cfg_)) {
+    rec = std::make_unique<obs::GateRecorder>(n_ranks_,
+                                              obs::Trace::global().enabled());
+  }
+
   auto rank_main = [&](int r) {
+    set_log_pe(r);
     Rank rank(this, r);
-    rank.execute(circuit.gates());
+    rank.execute(circuit.gates(), rec.get());
   };
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(n_ranks_ - 1));
-  for (int r = 1; r < n_ranks_; ++r) workers.emplace_back(rank_main, r);
-  rank_main(0);
-  for (auto& t : workers) t.join();
+  {
+    Timer::ScopedAccum wall(rep.wall_seconds);
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n_ranks_ - 1));
+    for (int r = 1; r < n_ranks_; ++r) workers.emplace_back(rank_main, r);
+    rank_main(0);
+    for (auto& t : workers) t.join();
+  }
+  set_log_pe(-1); // the calling thread ran rank 0
+
+  if (rec) rec->finish(rep, name());
+  const MsgStats total = stats();
+  rep.comm.add_messages(total.messages, total.bytes);
 }
 
 void CoarseMsgSim::run(const Circuit& circuit) {

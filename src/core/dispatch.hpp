@@ -24,6 +24,7 @@
 #include "core/kernels/gates2q.hpp"
 #include "core/kernels/nonunitary.hpp"
 #include "ir/circuit.hpp"
+#include "obs/span.hpp"
 
 namespace svsim {
 
@@ -126,13 +127,16 @@ std::vector<DeviceGate<Space>> upload_circuit(const Circuit& circuit,
 /// The single simulation kernel (Listing 1 lines 21-26 / Listing 5): every
 /// worker executes the full gate loop over its contiguous slice of work
 /// items, with a global sync after each gate (grid.sync() /
-/// nvshmem_barrier_all()).
+/// nvshmem_barrier_all()). When a GateRecorder is supplied each gate (plus
+/// its sync) is wrapped in an obs::Span on this worker's track; with the
+/// default null recorder the spans are branch-only no-ops.
 template <class Space>
 void simulation_kernel(const std::vector<DeviceGate<Space>>& circuit,
-                       const Space& sp) {
+                       const Space& sp, obs::GateRecorder* rec = nullptr) {
   const IdxType nw = sp.n_workers();
   const IdxType me = sp.worker();
   for (const DeviceGate<Space>& dg : circuit) {
+    obs::Span span(rec, static_cast<int>(me), dg.g.op);
     const IdxType per = (dg.work + nw - 1) / nw;
     const IdxType begin = per * me < dg.work ? per * me : dg.work;
     const IdxType end = begin + per < dg.work ? begin + per : dg.work;

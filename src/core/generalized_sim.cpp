@@ -1,6 +1,9 @@
 #include "core/generalized_sim.hpp"
 
+#include "common/timer.hpp"
 #include "core/kernels/nonunitary.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace svsim {
 
@@ -113,7 +116,21 @@ void GeneralizedSim::apply_gate(const Gate& g) {
 
 void GeneralizedSim::run(const Circuit& circuit) {
   SVSIM_CHECK(circuit.n_qubits() == n_, "circuit width != simulator width");
-  for (const Gate& g : circuit.gates()) apply_gate(g);
+  static obs::Counter& runs =
+      obs::Registry::global().counter("runs.generalized");
+  runs.add();
+  obs::RunReport& rep = begin_report(circuit, 1);
+  Timer::ScopedAccum wall(rep.wall_seconds);
+  if (profiling_on(cfg_)) {
+    obs::GateRecorder rec(1, obs::Trace::global().enabled());
+    for (const Gate& g : circuit.gates()) {
+      obs::Span span(&rec, 0, g.op);
+      apply_gate(g);
+    }
+    rec.finish(rep, name());
+  } else {
+    for (const Gate& g : circuit.gates()) apply_gate(g);
+  }
 }
 
 StateVector GeneralizedSim::state() const {

@@ -1,7 +1,11 @@
 #include "core/peer_sim.hpp"
 
+#include <memory>
 #include <thread>
 
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "obs/registry.hpp"
 #include "shmem/barrier.hpp"
 
 namespace svsim {
@@ -46,13 +50,24 @@ void PeerSim::reset_state() {
 }
 
 void PeerSim::execute(const Circuit& circuit) {
+  static obs::Counter& runs = obs::Registry::global().counter("runs.peer");
+  runs.add();
+  obs::RunReport& rep = begin_report(circuit, n_dev_);
+
   const auto device_circuit =
       upload_circuit<PeerSpace>(circuit, KernelTable<PeerSpace>::get());
 
   shmem::Barrier grid(n_dev_); // the multi-device grid (grid.sync())
   traffic_.assign(static_cast<std::size_t>(n_dev_), PeerTraffic{});
 
+  std::unique_ptr<obs::GateRecorder> rec;
+  if (profiling_on(cfg_)) {
+    rec = std::make_unique<obs::GateRecorder>(n_dev_,
+                                              obs::Trace::global().enabled());
+  }
+
   auto device_main = [&](int d) {
+    set_log_pe(d);
     PeerSpace sp;
     sp.real_parts = real_ptrs_.data();
     sp.imag_parts = imag_ptrs_.data();
@@ -66,16 +81,24 @@ void PeerSim::execute(const Circuit& circuit) {
     sp.scratch = scratch_.data();
     sp.traffic = cfg_.count_traffic ? &traffic_[static_cast<std::size_t>(d)]
                                     : nullptr;
-    simulation_kernel(device_circuit, sp);
+    simulation_kernel(device_circuit, sp, rec.get());
   };
 
-  // One host thread per device (the paper's `omp parallel num_threads
-  // (n_gpus)` launcher); device 0 runs on the calling thread.
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(n_dev_ - 1));
-  for (int d = 1; d < n_dev_; ++d) workers.emplace_back(device_main, d);
-  device_main(0);
-  for (auto& t : workers) t.join();
+  {
+    Timer::ScopedAccum wall(rep.wall_seconds);
+    // One host thread per device (the paper's `omp parallel num_threads
+    // (n_gpus)` launcher); device 0 runs on the calling thread.
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n_dev_ - 1));
+    for (int d = 1; d < n_dev_; ++d) workers.emplace_back(device_main, d);
+    device_main(0);
+    for (auto& t : workers) t.join();
+  }
+  set_log_pe(-1); // the calling thread ran device 0
+
+  if (rec) rec->finish(rep, name());
+  const PeerTraffic total = traffic();
+  rep.comm.add_peer(total.local_access, total.remote_access);
 }
 
 void PeerSim::run(const Circuit& circuit) {

@@ -1,5 +1,10 @@
 #include "core/shmem_sim.hpp"
 
+#include <memory>
+
+#include "common/timer.hpp"
+#include "obs/registry.hpp"
+
 namespace svsim {
 
 namespace {
@@ -59,21 +64,36 @@ void ShmemSim::reset_state() {
 }
 
 void ShmemSim::execute(const Circuit& circuit) {
+  static obs::Counter& runs = obs::Registry::global().counter("runs.shmem");
+  runs.add();
+  obs::RunReport& rep = begin_report(circuit, n_pes_);
+
   const auto device_circuit =
       upload_circuit<ShmemSpace>(circuit, KernelTable<ShmemSpace>::get());
 
-  runtime_.run([&](shmem::Ctx& ctx) {
-    ShmemSpace sp;
-    sp.ctx = &ctx;
-    sp.real_sym = real_sym_[static_cast<std::size_t>(ctx.pe())];
-    sp.imag_sym = imag_sym_[static_cast<std::size_t>(ctx.pe())];
-    sp.lg_part = lg_part_;
-    sp.dim = dim_;
-    sp.mctx = &mctx_;
-    sp.rng = &rngs_[static_cast<std::size_t>(ctx.pe())];
-    simulation_kernel(device_circuit, sp);
-  });
+  std::unique_ptr<obs::GateRecorder> rec;
+  if (profiling_on(cfg_)) {
+    rec = std::make_unique<obs::GateRecorder>(n_pes_,
+                                              obs::Trace::global().enabled());
+  }
+
+  {
+    Timer::ScopedAccum wall(rep.wall_seconds);
+    runtime_.run([&](shmem::Ctx& ctx) {
+      ShmemSpace sp;
+      sp.ctx = &ctx;
+      sp.real_sym = real_sym_[static_cast<std::size_t>(ctx.pe())];
+      sp.imag_sym = imag_sym_[static_cast<std::size_t>(ctx.pe())];
+      sp.lg_part = lg_part_;
+      sp.dim = dim_;
+      sp.mctx = &mctx_;
+      sp.rng = &rngs_[static_cast<std::size_t>(ctx.pe())];
+      simulation_kernel(device_circuit, sp, rec.get());
+    });
+  }
   last_traffic_ = runtime_.aggregate_traffic();
+  if (rec) rec->finish(rep, name());
+  rep.comm.add_shmem(last_traffic_);
 }
 
 void ShmemSim::run(const Circuit& circuit) {

@@ -12,8 +12,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/config.hpp"
 #include "core/state_vector.hpp"
 #include "ir/circuit.hpp"
+#include "ir/fusion.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace svsim {
 
@@ -56,6 +60,41 @@ public:
     reset_state();
     run(circuit);
   }
+
+  /// Fuse the circuit, run it, and record the fusion stats in the report.
+  void run_fused(const Circuit& circuit) {
+    FusionStats st;
+    const Circuit fused = fuse_gates(circuit, &st);
+    run(fused);
+    report_.fusion = st;
+  }
+
+  // --- observability (non-virtual; backends fill report_ per run()) ---
+
+  /// Instrumentation record of the most recent run()/sample(): gate
+  /// counts by kind, per-gate-kind time (when profiling), fusion stats,
+  /// and unified local/remote communication totals.
+  const obs::RunReport& last_report() const { return report_; }
+
+protected:
+  /// Reset and stamp the report at the top of a run(). Backends wrap the
+  /// gate loop in Timer::ScopedAccum(report.wall_seconds) and merge their
+  /// traffic counters at the end.
+  obs::RunReport& begin_report(const Circuit& circuit, int n_workers) {
+    report_ = obs::RunReport{};
+    report_.backend = name();
+    report_.n_qubits = n_qubits();
+    report_.n_workers = n_workers;
+    obs::tally_gates(report_, circuit);
+    return report_;
+  }
+
+  /// Per-run profiling decision: the config flag, or SVSIM_PROFILE set.
+  static bool profiling_on(const SimConfig& cfg) {
+    return cfg.profile || !obs::env_profile_path().empty();
+  }
+
+  obs::RunReport report_;
 };
 
 } // namespace svsim

@@ -1,5 +1,8 @@
 #include "core/single_sim.hpp"
 
+#include "common/timer.hpp"
+#include "obs/registry.hpp"
+
 namespace svsim {
 
 SingleSim::SingleSim(IdxType n_qubits, SimConfig cfg)
@@ -37,9 +40,19 @@ LocalSpace SingleSim::make_space() {
 
 void SingleSim::run(const Circuit& circuit) {
   SVSIM_CHECK(circuit.n_qubits() == n_, "circuit width != simulator width");
+  static obs::Counter& runs = obs::Registry::global().counter("runs.single");
+  runs.add();
+  obs::RunReport& rep = begin_report(circuit, 1);
   const auto device_circuit = upload_circuit<LocalSpace>(circuit, *table_);
   const LocalSpace sp = make_space();
-  simulation_kernel(device_circuit, sp);
+  Timer::ScopedAccum wall(rep.wall_seconds);
+  if (profiling_on(cfg_)) {
+    obs::GateRecorder rec(1, obs::Trace::global().enabled());
+    simulation_kernel(device_circuit, sp, &rec);
+    rec.finish(rep, name());
+  } else {
+    simulation_kernel(device_circuit, sp);
+  }
 }
 
 StateVector SingleSim::state() const {

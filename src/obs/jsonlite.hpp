@@ -1,0 +1,145 @@
+// Minimal JSON validator (no value tree, no external deps).
+//
+// Exists so the trace exporter, the bench JSON emitter, and the
+// profile-smoke ctest can assert "this file is well-formed JSON" without
+// pulling in a JSON library. Accepts exactly RFC 8259 grammar; on failure
+// reports the byte offset of the first error.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace svsim::obs::jsonlite {
+
+namespace detail {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return eof() ? '\0' : s[i]; }
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++i;
+    return true;
+  }
+  bool consume_lit(const char* lit) {
+    std::size_t j = i;
+    for (const char* p = lit; *p != '\0'; ++p, ++j) {
+      if (j >= s.size() || s[j] != *p) return false;
+    }
+    i = j;
+    return true;
+  }
+};
+
+inline bool parse_value(Cursor& c);
+
+inline bool parse_string(Cursor& c) {
+  if (!c.consume('"')) return false;
+  while (!c.eof()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch == '\\') {
+      if (c.eof()) return false;
+      const char esc = c.s[c.i++];
+      if (esc == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          if (c.eof() || std::isxdigit(static_cast<unsigned char>(c.s[c.i])) == 0) {
+            return false;
+          }
+          ++c.i;
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    }
+  }
+  return false; // unterminated
+}
+
+inline bool parse_number(Cursor& c) {
+  const std::size_t start = c.i;
+  c.consume('-');
+  if (c.peek() == '0') {
+    ++c.i;
+  } else if (std::isdigit(static_cast<unsigned char>(c.peek())) != 0) {
+    while (std::isdigit(static_cast<unsigned char>(c.peek())) != 0) ++c.i;
+  } else {
+    return false;
+  }
+  if (c.consume('.')) {
+    if (std::isdigit(static_cast<unsigned char>(c.peek())) == 0) return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek())) != 0) ++c.i;
+  }
+  if (c.peek() == 'e' || c.peek() == 'E') {
+    ++c.i;
+    if (c.peek() == '+' || c.peek() == '-') ++c.i;
+    if (std::isdigit(static_cast<unsigned char>(c.peek())) == 0) return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek())) != 0) ++c.i;
+  }
+  return c.i > start;
+}
+
+inline bool parse_object(Cursor& c) {
+  if (!c.consume('{')) return false;
+  c.skip_ws();
+  if (c.consume('}')) return true;
+  while (true) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.consume(':')) return false;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume(',')) continue;
+    return c.consume('}');
+  }
+}
+
+inline bool parse_array(Cursor& c) {
+  if (!c.consume('[')) return false;
+  c.skip_ws();
+  if (c.consume(']')) return true;
+  while (true) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume(',')) continue;
+    return c.consume(']');
+  }
+}
+
+inline bool parse_value(Cursor& c) {
+  c.skip_ws();
+  switch (c.peek()) {
+    case '{': return parse_object(c);
+    case '[': return parse_array(c);
+    case '"': return parse_string(c);
+    case 't': return c.consume_lit("true");
+    case 'f': return c.consume_lit("false");
+    case 'n': return c.consume_lit("null");
+    default: return parse_number(c);
+  }
+}
+
+} // namespace detail
+
+/// True iff `text` is one complete, well-formed JSON value. On failure,
+/// *error_offset (if non-null) is the byte position of the first error.
+inline bool valid(const std::string& text, std::size_t* error_offset = nullptr) {
+  detail::Cursor c{text};
+  const bool ok = detail::parse_value(c);
+  c.skip_ws();
+  const bool done = ok && c.eof();
+  if (!done && error_offset != nullptr) *error_offset = c.i;
+  return done;
+}
+
+} // namespace svsim::obs::jsonlite

@@ -1,0 +1,99 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace svsim::obs {
+
+void Histogram::record_us(double us) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_us_, us);
+  detail::atomic_min(min_us_, us);
+  detail::atomic_max(max_us_, us);
+
+  int b = 0;
+  if (us >= 1.0) {
+    b = static_cast<int>(std::log2(us));
+    if (b >= kBuckets) b = kBuckets - 1;
+    if (b < 0) b = 0;
+  }
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  s.min_us = s.count != 0 ? min_us_.load(std::memory_order_relaxed) : 0;
+  s.max_us = s.count != 0 ? max_us_.load(std::memory_order_relaxed) : 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  min_us_.store(1e300, std::memory_order_relaxed);
+  max_us_.store(-1e300, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+Registry::histogram_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+std::string Registry::summary() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counter_values()) {
+    if (v != 0) os << "  counter " << name << " = " << v << "\n";
+  }
+  for (const auto& [name, s] : histogram_values()) {
+    if (s.count == 0) continue;
+    os << "  timer   " << name << ": n=" << s.count << " mean=" << s.mean_us()
+       << "us min=" << s.min_us << "us max=" << s.max_us << "us\n";
+  }
+  return os.str();
+}
+
+} // namespace svsim::obs

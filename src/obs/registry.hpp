@@ -1,0 +1,115 @@
+// obs::Registry — process-global named counters and histogram timers.
+//
+// The observability core: backends, the SHMEM runtime, and user code
+// register monotonic counters ("runs.shmem", "obs.trace_events") and
+// log2-bucketed histogram timers ("run_ms.single") by name. Entries are
+// created on first use and are never removed — the returned references
+// stay valid for the life of the process, so hot paths look a counter up
+// once (e.g. a function-local static) and afterwards pay exactly one
+// relaxed atomic add. All mutation is lock-free; only name resolution
+// takes the registry mutex. reset() zeroes values in place rather than
+// erasing entries, preserving cached references.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace svsim::obs {
+
+namespace detail {
+/// fetch_add for doubles via CAS (std::atomic<double>::fetch_add is C++20
+/// but not yet reliable across the toolchains this builds on).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+} // namespace detail
+
+/// Monotonic counter. Thread/PE-safe; one relaxed atomic add per bump.
+class Counter {
+public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Histogram timer: count/sum/min/max plus log2 buckets of microseconds
+/// (bucket k holds samples in [2^k, 2^{k+1}) us; bucket 0 also holds
+/// sub-microsecond samples). Thread/PE-safe.
+class Histogram {
+public:
+  static constexpr int kBuckets = 32;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum_us = 0;
+    double min_us = 0;
+    double max_us = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+    double mean_us() const { return count != 0 ? sum_us / static_cast<double>(count) : 0; }
+  };
+
+  void record_us(double us);
+  void record_seconds(double s) { record_us(s * 1e6); }
+  Snapshot snapshot() const;
+  void reset();
+
+private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_us_{0};
+  // +/-inf sentinels so concurrent first samples need no special case;
+  // snapshot() reports 0 while empty.
+  std::atomic<double> min_us_{1e300};
+  std::atomic<double> max_us_{-1e300};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class Registry {
+public:
+  /// The process-wide registry every subsystem shares.
+  static Registry& global();
+
+  /// Find-or-create. Returned references are valid forever.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every entry in place (entries are kept; cached refs stay valid).
+  void reset();
+
+  /// Snapshot views for exporters/tests (sorted by name).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histogram_values() const;
+
+  /// Human-readable dump of all non-zero entries.
+  std::string summary() const;
+
+private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace svsim::obs

@@ -1,0 +1,102 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace svsim::obs {
+
+void CommStats::add_shmem(const shmem::TrafficStats& t) {
+  local_ops += t.local_gets + t.local_puts;
+  remote_ops += t.remote_gets + t.remote_puts;
+  bytes += t.bytes_got + t.bytes_put;
+  barriers += t.barriers;
+}
+
+void CommStats::add_peer(std::uint64_t local_access,
+                         std::uint64_t remote_access) {
+  local_ops += local_access;
+  remote_ops += remote_access;
+  bytes += (local_access + remote_access) * sizeof(ValType);
+}
+
+void CommStats::add_messages(std::uint64_t messages_, std::uint64_t bytes_) {
+  messages += messages_;
+  remote_ops += messages_;
+  bytes += bytes_;
+}
+
+void tally_gates(RunReport& report, const Circuit& circuit) {
+  for (const Gate& g : circuit.gates()) {
+    ++report.by_op[static_cast<std::size_t>(g.op)].count;
+    ++report.total_gates;
+  }
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "run report: backend=%s qubits=%lld workers=%d gates=%llu "
+                "wall=%.3f ms%s\n",
+                backend.c_str(), static_cast<long long>(n_qubits), n_workers,
+                static_cast<unsigned long long>(total_gates),
+                wall_seconds * 1e3, profiled ? "" : " (profiling off)");
+  os << buf;
+
+  // Gate kinds, most expensive (or most frequent) first.
+  std::vector<int> ops;
+  for (int i = 0; i < kNumOps; ++i) {
+    if (by_op[static_cast<std::size_t>(i)].count != 0) ops.push_back(i);
+  }
+  std::sort(ops.begin(), ops.end(), [&](int a, int b) {
+    const auto& sa = by_op[static_cast<std::size_t>(a)];
+    const auto& sb = by_op[static_cast<std::size_t>(b)];
+    if (sa.seconds != sb.seconds) return sa.seconds > sb.seconds;
+    return sa.count > sb.count;
+  });
+  if (!ops.empty()) {
+    std::snprintf(buf, sizeof(buf), "  %-8s %10s %12s %12s\n", "gate",
+                  "count", "total ms", "us/gate");
+    os << buf;
+    for (const int i : ops) {
+      const auto& s = by_op[static_cast<std::size_t>(i)];
+      std::snprintf(buf, sizeof(buf), "  %-8s %10llu %12.3f %12.3f\n",
+                    op_name(static_cast<OP>(i)),
+                    static_cast<unsigned long long>(s.count), s.seconds * 1e3,
+                    s.count != 0 ? s.seconds * 1e6 / static_cast<double>(s.count)
+                                 : 0.0);
+      os << buf;
+    }
+  }
+
+  if (fusion.gates_before != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  fusion: %lld -> %lld gates (1q fused %lld, 2q cancelled "
+                  "%lld, identities dropped %lld)\n",
+                  static_cast<long long>(fusion.gates_before),
+                  static_cast<long long>(fusion.gates_after),
+                  static_cast<long long>(fusion.fused_1q),
+                  static_cast<long long>(fusion.cancelled_2q),
+                  static_cast<long long>(fusion.dropped_identity));
+    os << buf;
+  }
+
+  if (comm.local_ops + comm.remote_ops + comm.messages != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  comm: local ops %llu, remote ops %llu, bytes %llu, "
+                  "messages %llu, barriers %llu\n",
+                  static_cast<unsigned long long>(comm.local_ops),
+                  static_cast<unsigned long long>(comm.remote_ops),
+                  static_cast<unsigned long long>(comm.bytes),
+                  static_cast<unsigned long long>(comm.messages),
+                  static_cast<unsigned long long>(comm.barriers));
+    os << buf;
+  }
+  return os.str();
+}
+
+} // namespace svsim::obs

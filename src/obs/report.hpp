@@ -1,0 +1,72 @@
+// obs::RunReport — the backend-neutral observability record of one run().
+//
+// Every Simulator fills one of these per run: gate counts by kind
+// (always), per-gate-kind accumulated time (when profiling is on), the
+// fusion stats of the circuit it executed (when the caller fused), and
+// the unified communication totals that previously lived in three
+// backend-specific structs (shmem::TrafficStats, PeerTraffic, MsgStats).
+// Retrieved through the non-virtual Simulator::last_report().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "ir/fusion.hpp"
+#include "ir/op.hpp"
+#include "shmem/shmem.hpp"
+
+namespace svsim {
+class Circuit;
+}
+
+namespace svsim::obs {
+
+/// Communication totals in the vocabulary all three distributed tiers
+/// share. "Ops" are element-granular one-sided accesses (peer pointer
+/// dereferences, SHMEM get/put); "messages" are the coarse baseline's
+/// whole-partition sends. Single-device backends leave everything zero.
+struct CommStats {
+  std::uint64_t local_ops = 0;
+  std::uint64_t remote_ops = 0;
+  std::uint64_t bytes = 0;    // payload bytes moved (get+put / messages)
+  std::uint64_t messages = 0; // two-sided sends (coarse baseline only)
+  std::uint64_t barriers = 0; // global syncs (where the runtime counts them)
+
+  void add_shmem(const shmem::TrafficStats& t);
+  void add_peer(std::uint64_t local_access, std::uint64_t remote_access);
+  void add_messages(std::uint64_t messages_, std::uint64_t bytes_);
+};
+
+struct GateKindStats {
+  std::uint64_t count = 0;
+  double seconds = 0; // CPU-seconds summed over workers; 0 unless profiled
+};
+
+struct RunReport {
+  std::string backend;
+  IdxType n_qubits = 0;
+  int n_workers = 1;
+
+  std::uint64_t total_gates = 0;
+  double wall_seconds = 0;
+  bool profiled = false; // per-gate-kind timing collected?
+
+  std::array<GateKindStats, static_cast<std::size_t>(kNumOps)> by_op{};
+  FusionStats fusion; // zeros unless the circuit went through run_fused()
+  CommStats comm;
+
+  const GateKindStats& of(OP op) const {
+    return by_op[static_cast<std::size_t>(op)];
+  }
+
+  /// Human-readable per-gate-kind breakdown + comm totals.
+  std::string summary() const;
+};
+
+/// Count `circuit`'s gates by kind into `report` (cheap; runs even with
+/// profiling off so every report has the count breakdown).
+void tally_gates(RunReport& report, const Circuit& circuit);
+
+} // namespace svsim::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/registry.hpp"
+
+namespace svsim::obs {
+
+namespace {
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+} // namespace
+
+const std::string& env_profile_path() {
+  static const std::string path = [] {
+    const char* p = std::getenv("SVSIM_PROFILE");
+    return std::string(p != nullptr ? p : "");
+  }();
+  return path;
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+Trace& Trace::global() {
+  static Trace t;
+  return t;
+}
+
+bool Trace::enabled() const { return !path().empty(); }
+
+void Trace::set_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  path_init_ = true;
+}
+
+std::string Trace::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!path_init_) {
+    path_ = env_profile_path();
+    path_init_ = true;
+  }
+  return path_;
+}
+
+void Trace::flush_run(const std::string& process,
+                      std::vector<std::vector<TraceEvent>>&& per_worker) {
+  std::size_t added = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, fresh] = pids_.emplace(process, static_cast<int>(pids_.size()));
+    const int pid = it->second;
+    for (int tid = 0; tid < static_cast<int>(per_worker.size()); ++tid) {
+      auto& evs = per_worker[static_cast<std::size_t>(tid)];
+      if (evs.empty()) continue;
+      threads_.insert({pid, tid});
+      for (TraceEvent& e : evs) {
+        events_.push_back(Stored{e, pid, tid});
+        ++added;
+      }
+    }
+    write_locked();
+  }
+  Registry::global().counter("obs.trace_events").add(added);
+}
+
+void Trace::write() {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_locked();
+}
+
+void Trace::write_locked() {
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return; // profiling must never kill a run
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  auto sep = [&] {
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fputc('\n', f);
+  };
+  for (const auto& [name, pid] : pids_) {
+    sep();
+    std::fprintf(f,
+                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                 pid, name.c_str());
+  }
+  for (const auto& [pid, tid] : threads_) {
+    sep();
+    std::fprintf(f,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":%d,\"args\":{\"name\":\"PE %d\"}}",
+                 pid, tid, tid);
+  }
+  for (const Stored& s : events_) {
+    sep();
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+                 s.e.name, s.e.cat, s.e.ts_us, s.e.dur_us, s.pid, s.tid);
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pids_.clear();
+  threads_.clear();
+  events_.clear();
+}
+
+std::size_t Trace::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+} // namespace svsim::obs

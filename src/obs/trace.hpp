@@ -1,0 +1,86 @@
+// obs::Trace — process-global Chrome trace-event sink.
+//
+// Profiled runs append "complete" events (ph:"X") here; the sink rewrites
+// the target file after every flush so a valid trace exists even if the
+// process never exits cleanly. The file loads directly into
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Track layout: one trace *process* per backend instance-name ("single",
+// "shmem", ...) and one *thread* (track) per PE/worker within it, so a
+// scale-out run shows per-PE gate timelines side by side — the per-gate /
+// per-communication-phase attribution the paper's evaluation is built on.
+//
+// Activation: the output path comes from the SVSIM_PROFILE environment
+// variable (read once at first use) or an explicit set_path() call.
+// Timestamps are microseconds on a steady clock shared by every backend
+// in the process, so successive run() calls lay out sequentially.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace svsim::obs {
+
+/// One completed span, timestamps in microseconds since the trace epoch.
+/// `name`/`cat` must point at static storage (op names qualify).
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "gate";
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+/// Path from $SVSIM_PROFILE, or "" if unset. Read once per process.
+const std::string& env_profile_path();
+
+/// Microseconds since the process trace epoch (steady clock).
+double trace_now_us();
+
+class Trace {
+public:
+  static Trace& global();
+
+  /// Tracing is "on" whenever a path is configured; GateRecorders then
+  /// collect events and flush them here at the end of each run().
+  bool enabled() const;
+  void set_path(const std::string& path);
+  std::string path() const;
+
+  /// Append one run's events — per_worker[w] are worker w's spans — under
+  /// the process-track named `process`, then rewrite the file. A repeated
+  /// `process` name reuses its track, so successive runs of one simulator
+  /// extend the same timeline.
+  void flush_run(const std::string& process,
+                 std::vector<std::vector<TraceEvent>>&& per_worker);
+
+  /// Rewrite the file from the currently buffered events.
+  void write();
+
+  /// Drop all buffered events and track registrations (tests).
+  void clear();
+
+  std::size_t event_count() const;
+
+private:
+  struct Stored {
+    TraceEvent e;
+    int pid;
+    int tid;
+  };
+
+  void write_locked();
+
+  mutable std::mutex mu_;
+  // Lazily seeded from $SVSIM_PROFILE on first path() query (const).
+  mutable std::string path_;
+  mutable bool path_init_ = false;
+  std::map<std::string, int> pids_;
+  std::set<std::pair<int, int>> threads_;
+  std::vector<Stored> events_;
+};
+
+} // namespace svsim::obs

@@ -1,6 +1,7 @@
 #include "shmem/shmem.hpp"
 
 #include "common/bits.hpp"
+#include "common/logging.hpp"
 
 #include <cstring>
 #include <exception>
@@ -147,6 +148,7 @@ void Runtime::run(const std::function<void(Ctx&)>& pe_main) {
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_pes_));
 
   auto body = [&](int pe) {
+    set_log_pe(pe); // tag this PE's log lines for interleaved SPMD output
     Ctx ctx(this, pe);
     try {
       pe_main(ctx);
@@ -166,6 +168,7 @@ void Runtime::run(const std::function<void(Ctx&)>& pe_main) {
   }
   body(0);
   for (auto& t : threads) t.join();
+  set_log_pe(-1); // the calling thread served as PE 0
 
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);

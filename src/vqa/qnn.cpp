@@ -61,12 +61,11 @@ Circuit QnnClassifier::build_circuit(const QnnSample& s,
 
 ValType QnnClassifier::predict_with(const QnnSample& s,
                                     const std::vector<ValType>& w) const {
-  Timer t;
+  Timer::ScopedAccum eval_time(total_seconds_);
   const Circuit c = build_circuit(s, w);
   sim_.run_fresh(c);
   // P(c0 = 0) -> "no violation"; score the violation class.
   const ValType p1 = sim_.prob_of_qubit(0);
-  total_ms_ += t.millis();
   ++evals_;
   return p1;
 }
@@ -119,7 +118,7 @@ QnnClassifier::TrainStats QnnClassifier::train(
     stats.accuracy_trace.push_back(accuracy(data));
   }
   stats.circuit_evaluations = evals_;
-  stats.total_ms = total_ms_;
+  stats.total_ms = total_seconds_ * 1e3;
   return stats;
 }
 

@@ -66,7 +66,7 @@ private:
   std::vector<ValType> weights_; // 8 trainable rotation angles
   mutable SingleSim sim_;
   mutable long evals_ = 0;
-  mutable double total_ms_ = 0;
+  mutable double total_seconds_ = 0;
 };
 
 } // namespace svsim::vqa

@@ -10,16 +10,15 @@ VqeResult run_vqe(Simulator& sim, const Hamiltonian& hamiltonian,
   SVSIM_CHECK(sim.n_qubits() == ansatz.n_qubits(),
               "simulator/ansatz width mismatch");
   int evals = 0;
-  double total_ms = 0;
+  double total_seconds = 0;
 
   const Objective objective = [&](const std::vector<ValType>& params) {
-    Timer timer;
+    Timer::ScopedAccum eval_time(total_seconds);
     // The VQA pattern: a brand-new circuit object per evaluation, uploaded
     // through the function-pointer tables with zero compilation.
     const Circuit circuit = ansatz.bind(params);
     sim.run_fresh(circuit);
     const ValType e = hamiltonian.expectation(sim.state());
-    total_ms += timer.millis();
     ++evals;
     return e;
   };
@@ -31,7 +30,7 @@ VqeResult run_vqe(Simulator& sim, const Hamiltonian& hamiltonian,
   res.params = opt.best_params;
   res.trace = opt.trace;
   res.circuit_evaluations = evals;
-  res.avg_eval_ms = evals > 0 ? total_ms / evals : 0;
+  res.avg_eval_ms = evals > 0 ? total_seconds * 1e3 / evals : 0;
   return res;
 }
 

@@ -1,0 +1,46 @@
+# profile-smoke: end-to-end check of the instrumentation layer.
+#
+# Runs qasm_runner with --profile on the GHZ example and validates the
+# emitted Chrome-trace JSON with trace_check (pure in-repo validator — no
+# python/jq dependency). Driven from tests/CMakeLists.txt via:
+#   cmake -DRUNNER=... -DTRACE_CHECK=... -DQASM=... -DWORK_DIR=...
+#         -P profile_smoke.cmake
+
+foreach(var RUNNER TRACE_CHECK QASM WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "profile_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(TRACE "${WORK_DIR}/profile_smoke_trace.json")
+file(REMOVE "${TRACE}")
+
+execute_process(
+  COMMAND "${RUNNER}" "${QASM}" --profile "${TRACE}" --shots 64
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR
+          "profile_smoke: qasm_runner --profile failed (rc=${run_rc})\n"
+          "stdout:\n${run_out}\nstderr:\n${run_err}")
+endif()
+
+if(NOT EXISTS "${TRACE}")
+  message(FATAL_ERROR "profile_smoke: no trace written at ${TRACE}\n"
+          "stdout:\n${run_out}")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" "${TRACE}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+          "profile_smoke: trace validation failed (rc=${check_rc})\n"
+          "${check_out}${check_err}")
+endif()
+
+message(STATUS "profile_smoke: ${check_out}")

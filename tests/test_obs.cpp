@@ -1,0 +1,292 @@
+// Observability layer: registry correctness under concurrent PE threads,
+// RunReport totals vs. the backend-specific counters they unify, trace
+// JSON well-formedness for every backend, and the logging/timer
+// satellites (Timer::ScopedAccum, per-PE log tags).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "core/coarse_msg_sim.hpp"
+#include "core/generalized_sim.hpp"
+#include "core/peer_sim.hpp"
+#include "core/shmem_sim.hpp"
+#include "core/single_sim.hpp"
+#include "obs/jsonlite.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace svsim {
+namespace {
+
+Circuit ghz(IdxType n) {
+  Circuit c(n);
+  c.h(0);
+  for (IdxType q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  return c;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(ObsRegistry, CounterExactUnderConcurrentThreads) {
+  obs::Counter& c = obs::Registry::global().counter("test.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(ObsRegistry, HistogramExactCountAndBoundsUnderConcurrentThreads) {
+  obs::Histogram& h = obs::Registry::global().histogram("test.hist");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        h.record_us(static_cast<double>(t * kRecords + i + 1));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, static_cast<double>(kThreads * kRecords));
+  // Sum of 1..N accumulated via CAS adds is exact (integral doubles).
+  const double n = static_cast<double>(kThreads) * kRecords;
+  EXPECT_DOUBLE_EQ(s.sum_us, n * (n + 1) / 2);
+  std::uint64_t in_buckets = 0;
+  for (const auto b : s.buckets) in_buckets += b;
+  EXPECT_EQ(in_buckets, s.count);
+}
+
+TEST(ObsRegistry, ResetZeroesInPlaceAndKeepsReferencesValid) {
+  obs::Counter& c = obs::Registry::global().counter("test.reset");
+  c.add(7);
+  obs::Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(obs::Registry::global().counter("test.reset").value(), 2u);
+}
+
+// --- Timer::ScopedAccum --------------------------------------------------
+
+TEST(ObsTimer, ScopedAccumAddsElapsedAcrossScopes) {
+  double acc = 0;
+  {
+    Timer::ScopedAccum t(acc);
+  }
+  const double first = acc;
+  EXPECT_GE(first, 0.0);
+  {
+    Timer::ScopedAccum t(acc);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(acc, first); // second scope added on top
+}
+
+// --- logging satellites --------------------------------------------------
+
+TEST(ObsLogging, PeTagIsThreadLocal) {
+  set_log_pe(3);
+  EXPECT_EQ(log_pe(), 3);
+  std::thread other([] { EXPECT_EQ(log_pe(), -1); });
+  other.join();
+  set_log_pe(-1);
+  EXPECT_EQ(log_pe(), -1);
+}
+
+// --- RunReport -----------------------------------------------------------
+
+TEST(ObsReport, EveryBackendCountsGatesByKind) {
+  const Circuit c = ghz(8);
+  SingleSim single(8);
+  PeerSim peer(8, 4);
+  ShmemSim shmem(8, 4);
+  CoarseMsgSim coarse(8, 4);
+  GeneralizedSim generalized(8);
+  Simulator* sims[] = {&single, &peer, &shmem, &coarse, &generalized};
+  for (Simulator* sim : sims) {
+    sim->run(c);
+    const obs::RunReport& r = sim->last_report();
+    EXPECT_EQ(r.backend, sim->name());
+    EXPECT_EQ(r.n_qubits, 8);
+    EXPECT_EQ(r.of(OP::H).count, 1u) << sim->name();
+    EXPECT_EQ(r.of(OP::CX).count, 7u) << sim->name();
+    EXPECT_EQ(r.total_gates, 8u) << sim->name();
+    EXPECT_GT(r.wall_seconds, 0.0) << sim->name();
+    EXPECT_FALSE(r.profiled) << sim->name(); // default: profiling off
+    EXPECT_FALSE(r.summary().empty());
+  }
+}
+
+TEST(ObsReport, ShmemReportMatchesTrafficStatsOnGhz) {
+  ShmemSim sim(8, 4);
+  sim.run(ghz(8));
+  const shmem::TrafficStats t = sim.traffic();
+  const obs::CommStats& comm = sim.last_report().comm;
+  EXPECT_GT(t.remote_gets + t.remote_puts, 0u); // GHZ crosses partitions
+  EXPECT_EQ(comm.local_ops, t.local_gets + t.local_puts);
+  EXPECT_EQ(comm.remote_ops, t.remote_gets + t.remote_puts);
+  EXPECT_EQ(comm.bytes, t.bytes_got + t.bytes_put);
+  EXPECT_EQ(comm.barriers, t.barriers);
+  EXPECT_EQ(comm.messages, 0u);
+}
+
+TEST(ObsReport, PeerReportMatchesPeerTraffic) {
+  PeerSim sim(8, 4);
+  sim.run(ghz(8));
+  const PeerTraffic t = sim.traffic();
+  const obs::CommStats& comm = sim.last_report().comm;
+  EXPECT_EQ(comm.local_ops, t.local_access);
+  EXPECT_EQ(comm.remote_ops, t.remote_access);
+  EXPECT_GT(comm.remote_ops, 0u);
+}
+
+TEST(ObsReport, CoarseReportCarriesMessageTotals) {
+  CoarseMsgSim sim(8, 4);
+  sim.run(ghz(8));
+  const MsgStats t = sim.stats();
+  const obs::CommStats& comm = sim.last_report().comm;
+  EXPECT_EQ(comm.messages, t.messages);
+  EXPECT_EQ(comm.bytes, t.bytes);
+  EXPECT_GT(comm.messages, 0u); // the CX ladder crosses the partition cut
+}
+
+TEST(ObsReport, ProfiledRunRecordsPerGateKindTime) {
+  SimConfig cfg;
+  cfg.profile = true;
+  SingleSim sim(10, cfg);
+  sim.run(ghz(10));
+  const obs::RunReport& r = sim.last_report();
+  EXPECT_TRUE(r.profiled);
+  EXPECT_GT(r.of(OP::CX).seconds, 0.0);
+  EXPECT_GT(r.of(OP::H).seconds, 0.0);
+  // The summary carries the per-kind breakdown.
+  EXPECT_NE(r.summary().find("cx"), std::string::npos);
+}
+
+TEST(ObsReport, RunFusedRecordsFusionStats) {
+  Circuit c(4);
+  c.h(0);
+  c.h(0); // cancels to identity
+  c.cx(0, 1);
+  c.cx(0, 1); // cancels
+  c.t(2);
+  SingleSim sim(4);
+  sim.run_fused(c);
+  const FusionStats& f = sim.last_report().fusion;
+  EXPECT_EQ(f.gates_before, 5);
+  EXPECT_LT(f.gates_after, f.gates_before);
+  EXPECT_GT(f.cancelled_2q, 0);
+}
+
+TEST(ObsReport, SampleRefreshesTheReport) {
+  SingleSim sim(4);
+  sim.run(ghz(4));
+  EXPECT_EQ(sim.last_report().of(OP::MA).count, 0u);
+  sim.sample(16);
+  EXPECT_EQ(sim.last_report().of(OP::MA).count, 1u);
+}
+
+// --- Chrome trace export -------------------------------------------------
+
+class ObsTraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "svsim_trace_test.json";
+    obs::Trace::global().clear();
+    obs::Trace::global().set_path(path_);
+  }
+  void TearDown() override {
+    obs::Trace::global().set_path("");
+    obs::Trace::global().clear();
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(ObsTraceTest, EveryBackendWritesWellFormedNonEmptyTraceJson) {
+  SimConfig cfg;
+  cfg.profile = true;
+  const Circuit c = ghz(6);
+
+  SingleSim single(6, cfg);
+  PeerSim peer(6, 2, cfg);
+  ShmemSim shmem(6, 2, cfg);
+  CoarseMsgSim coarse(6, 2, cfg);
+  GeneralizedSim generalized(6, cfg);
+  Simulator* sims[] = {&single, &peer, &shmem, &coarse, &generalized};
+
+  std::size_t prev_events = 0;
+  for (Simulator* sim : sims) {
+    sim->run(c);
+    const std::size_t now = obs::Trace::global().event_count();
+    EXPECT_GE(now - prev_events, static_cast<std::size_t>(c.n_gates()))
+        << sim->name();
+    prev_events = now;
+
+    const std::string text = read_file(path_);
+    ASSERT_FALSE(text.empty()) << sim->name();
+    std::size_t err = 0;
+    EXPECT_TRUE(obs::jsonlite::valid(text, &err))
+        << sim->name() << ": JSON error at byte " << err;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find(sim->name()), std::string::npos)
+        << "process track metadata missing";
+  }
+  // Multi-worker backends produce one thread track per PE.
+  const std::string text = read_file(path_);
+  EXPECT_NE(text.find("\"PE 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"PE 1\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, DisabledTraceCollectsNothing) {
+  obs::Trace::global().set_path("");
+  SimConfig cfg;
+  cfg.profile = true; // timing on, but no trace sink configured
+  SingleSim sim(4, cfg);
+  sim.run(ghz(4));
+  EXPECT_TRUE(sim.last_report().profiled);
+  EXPECT_EQ(obs::Trace::global().event_count(), 0u);
+}
+
+// --- jsonlite ------------------------------------------------------------
+
+TEST(ObsJsonlite, AcceptsAndRejects) {
+  EXPECT_TRUE(obs::jsonlite::valid(R"({"a":[1,2.5e-3,"x\n",true,null]})"));
+  EXPECT_TRUE(obs::jsonlite::valid("[]"));
+  EXPECT_TRUE(obs::jsonlite::valid("-0.5"));
+  EXPECT_FALSE(obs::jsonlite::valid(""));
+  EXPECT_FALSE(obs::jsonlite::valid("{"));
+  EXPECT_FALSE(obs::jsonlite::valid("{\"a\":}"));
+  EXPECT_FALSE(obs::jsonlite::valid("[1,]"));
+  EXPECT_FALSE(obs::jsonlite::valid("[1] trailing"));
+  EXPECT_FALSE(obs::jsonlite::valid("NaN"));
+}
+
+} // namespace
+} // namespace svsim

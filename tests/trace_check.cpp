@@ -1,0 +1,53 @@
+// trace_check — CI helper for the profile-smoke test.
+//
+// Usage: trace_check <trace.json>
+//
+// Exits 0 iff the file exists, parses as JSON (obs::jsonlite — no external
+// dependencies), contains a "traceEvents" key, and holds at least one
+// complete ("ph":"X") event. Prints a one-line verdict either way.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/jsonlite.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string text = os.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "trace_check: %s is empty\n", argv[1]);
+    return 1;
+  }
+  std::size_t err = 0;
+  if (!svsim::obs::jsonlite::valid(text, &err)) {
+    std::fprintf(stderr, "trace_check: %s is not valid JSON (error at byte %zu)\n",
+                 argv[1], err);
+    return 1;
+  }
+  if (text.find("\"traceEvents\"") == std::string::npos) {
+    std::fprintf(stderr, "trace_check: %s has no traceEvents array\n", argv[1]);
+    return 1;
+  }
+  std::size_t x_events = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("\"ph\":\"X\"", pos)) != std::string::npos; ++pos) {
+    ++x_events;
+  }
+  if (x_events == 0) {
+    std::fprintf(stderr, "trace_check: %s has no complete events\n", argv[1]);
+    return 1;
+  }
+  std::printf("trace_check: %s OK (%zu complete events)\n", argv[1], x_events);
+  return 0;
+}
