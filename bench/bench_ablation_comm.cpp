@@ -70,5 +70,12 @@ int main() {
   bench::shape_check(fine_remote_bytes < static_cast<double>(ct.bytes),
                      "fine-grained one-sided access moves less data than "
                      "coarse whole-partition exchange");
+
+  // Where the bytes actually flow: the PE×PE link matrices behind the
+  // totals above (busiest link + per-PE marginals).
+  bench::print_traffic_matrix("qft_n15 @ 8 PEs — shmem one-sided traffic",
+                              fine.last_report().matrix);
+  bench::print_traffic_matrix("qft_n15 @ 8 PEs — coarse message traffic",
+                              coarse.last_report().matrix);
   return 0;
 }

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
+
 namespace svsim::bench {
 
 namespace detail {
@@ -173,6 +175,24 @@ private:
 
 inline void shape_check(bool ok, const std::string& claim) {
   std::printf("[shape %s] %s\n", ok ? "OK  " : "MISS", claim.c_str());
+}
+
+/// Print a run's PE×PE traffic heatmap plus a bytes-per-PE table (issued /
+/// received marginals), mirrored into the SVSIM_BENCH_JSON document like
+/// every other bench table. No-op for single-device runs (empty matrix).
+inline void print_traffic_matrix(const std::string& label,
+                                 const obs::TrafficMatrix& m) {
+  if (m.empty()) return;
+  std::printf("\n%s\n%s", label.c_str(), m.table().c_str());
+  Table t("PE");
+  t.add_column("bytes_out");
+  t.add_column("bytes_in");
+  for (int pe = 0; pe < m.n; ++pe) {
+    t.add_row("pe" + std::to_string(pe),
+              {static_cast<double>(m.row_sum(pe)),
+               static_cast<double>(m.col_sum(pe))});
+  }
+  t.print("%12.0f");
 }
 
 } // namespace svsim::bench

@@ -5,14 +5,23 @@
 //
 //   $ ./examples/qasm_runner [file.qasm] [--backend single|peer|shmem|
 //                            coarse|generalized] [--workers K] [--shots N]
-//                            [--profile trace.json]
+//                            [--profile trace.json] [--report]
+//                            [--report-json report.json]
 //
 // --profile (or the SVSIM_PROFILE=<path> environment variable) turns on
 // per-gate profiling: the run report breakdown is printed and a Chrome
 // trace-event file (chrome://tracing / Perfetto) is written with one
 // track per PE.
+//
+// --report prints the full run report (gate breakdown, comm totals,
+// health line, and the PE×PE traffic-matrix heatmap on distributed
+// backends). --report-json <path> writes the machine-readable report
+// ("svsim-report-v1"). When the health monitor is active (SVSIM_HEALTH)
+// and tripped — non-finite amplitudes, norm-drift warnings, or an abort —
+// the process exits with status 2 so CI can gate on numerical health.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -73,6 +82,8 @@ int main(int argc, char** argv) {
   std::string backend = "single";
   int workers = 4;
   IdxType shots = 1024;
+  bool want_report = false;
+  std::string report_json_path;
   SimConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,6 +96,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--profile" && i + 1 < argc) {
       cfg.profile = true;
       obs::Trace::global().set_path(argv[++i]);
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg == "--report-json" && i + 1 < argc) {
+      report_json_path = argv[++i];
     } else {
       file = arg;
     }
@@ -108,12 +123,29 @@ int main(int argc, char** argv) {
     const double ms = timer.millis();
     std::printf("backend %s: executed in %.3f ms\n", sim->name(), ms);
 
-    if (sim->last_report().profiled) {
-      std::printf("%s", sim->last_report().summary().c_str());
+    // Snapshot now: sample() below runs a measure-all circuit, which
+    // resets last_report() (begin_report runs per run()).
+    const obs::RunReport report = sim->last_report();
+
+    if (report.profiled || want_report) {
+      std::printf("%s", report.summary().c_str());
       if (obs::Trace::global().enabled()) {
         std::printf("trace: %s (load in chrome://tracing or ui.perfetto.dev)\n",
                     obs::Trace::global().path().c_str());
       }
+    }
+    if (want_report && !report.matrix.empty()) {
+      std::printf("%s", report.matrix.table().c_str());
+    }
+    if (!report_json_path.empty()) {
+      std::ofstream out(report_json_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     report_json_path.c_str());
+        return 1;
+      }
+      out << obs::to_json(report) << '\n';
+      std::printf("report: %s\n", report_json_path.c_str());
     }
 
     // Classical register from in-circuit measurements, if any.
@@ -138,6 +170,16 @@ int main(int argc, char** argv) {
         std::printf("  ... (%zu more outcomes)\n", hist.size() - 16);
         break;
       }
+    }
+
+    if (report.health.enabled && report.health.tripped()) {
+      std::fprintf(stderr,
+                   "health: monitor tripped (nan checks %llu, warns %llu%s) "
+                   "-- exiting 2\n",
+                   static_cast<unsigned long long>(report.health.nan_checks),
+                   static_cast<unsigned long long>(report.health.warns),
+                   report.health.aborted ? ", aborted" : "");
+      return 2;
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

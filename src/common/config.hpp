@@ -31,6 +31,20 @@ struct SimConfig {
   /// trace events). Setting SVSIM_PROFILE also turns profiling on without
   /// this flag; default off keeps the gate loop free of timer calls.
   bool profile = false;
+  /// Numerical-health checkpoint cadence: check ‖ψ‖² and scan for
+  /// non-finite amplitudes every n gates (0 = off). SVSIM_HEALTH=<n> also
+  /// enables monitoring without this field.
+  int health_every_n = 0;
+  /// |‖ψ‖² − 1| above this logs WARN and counts in HealthStats::warns.
+  double health_warn_drift = 1e-6;
+  /// Drift above this aborts the run (0 = never). SVSIM_HEALTH_ABORT=<d>
+  /// sets it from the environment (and implies abort_on_nan).
+  double health_abort_drift = 0;
+  /// Abort the run as soon as any non-finite amplitude is seen.
+  bool health_abort_on_nan = false;
+  /// Push per-gate events into the crash flight recorder (a few plain
+  /// stores per gate). SVSIM_FLIGHT=0 disables it globally.
+  bool flight = true;
 };
 
 } // namespace svsim

@@ -82,6 +82,9 @@ void log_line(LogLevel level, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[svsim] %s%-5s %s%s\n", stamp, level_name(level),
                pe_tag, msg.c_str());
+  // An ERROR is often the last thing a dying run says — make sure it is
+  // actually on the wire before any abort/signal path tears stdio down.
+  if (level == LogLevel::kError) std::fflush(stderr);
 }
 
 } // namespace svsim

@@ -8,8 +8,11 @@
 #include "common/bits.hpp"
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace svsim {
 
@@ -25,22 +28,67 @@ public:
         lg_(sim->lg_part_),
         real_(sim->real_parts_[static_cast<std::size_t>(rank)].data()),
         imag_(sim->imag_parts_[static_cast<std::size_t>(rank)].data()),
-        rng_(&sim->rngs_[static_cast<std::size_t>(rank)]) {}
+        rng_(&sim->rngs_[static_cast<std::size_t>(rank)]) {
+    stats_.per_dest_bytes.assign(static_cast<std::size_t>(sim->n_ranks_), 0);
+  }
 
-  void execute(const std::vector<Gate>& gates, obs::GateRecorder* rec) {
+  void execute(const std::vector<Gate>& gates, obs::GateRecorder* rec,
+               obs::HealthMonitor* health, obs::FlightRecorder* flight) {
+    obs::FlightRing* ring = flight != nullptr ? flight->ring(rank_) : nullptr;
+    const std::uint64_t every =
+        health != nullptr && health->every_n() > 0
+            ? static_cast<std::uint64_t>(health->every_n())
+            : 0;
+    const std::uint64_t n_gates = gates.size();
+    std::uint64_t gate_id = 0;
     for (const Gate& g : gates) {
-      obs::Span span(rec, rank_, g.op);
-      switch (g.op) {
-        case OP::M: apply_measure(g); break;
-        case OP::MA: apply_measure_all(); break;
-        case OP::RESET: apply_reset(g); break;
-        case OP::BARRIER: break;
-        default:
-          if (op_info(g.op).n_qubits == 1) {
-            apply_1q(g);
-          } else {
-            apply_2q(g);
-          }
+      ++gate_id;
+      if (ring != nullptr) {
+        obs::FlightEvent e;
+        e.ts_us = obs::trace_now_us();
+        e.gate_id = gate_id;
+        e.kind = obs::FlightEvent::kGate;
+        e.op = static_cast<std::uint16_t>(g.op);
+        e.qb0 = static_cast<std::int32_t>(g.qb0);
+        e.qb1 = static_cast<std::int32_t>(g.qb1);
+        ring->push(e);
+      }
+      {
+        obs::Span span(rec, rank_, g.op);
+        switch (g.op) {
+          case OP::M: apply_measure(g); break;
+          case OP::MA: apply_measure_all(); break;
+          case OP::RESET: apply_reset(g); break;
+          case OP::BARRIER: break;
+          default:
+            if (op_info(g.op).n_qubits == 1) {
+              apply_1q(g);
+            } else {
+              apply_2q(g);
+            }
+        }
+      }
+      if (every != 0 && (gate_id % every == 0 || gate_id == n_gates)) {
+        double norm2 = 0;
+        std::uint64_t bad = 0;
+        obs::scan_amplitudes(real_, imag_, per_, &norm2, &bad);
+        // Both reductions ride the rank's own message-based all-reduce:
+        // every rank reaches this checkpoint at the same gate (the cadence
+        // is deterministic), so the collective stays lockstep.
+        const double g_norm2 = static_cast<double>(
+            all_reduce_sum(static_cast<ValType>(norm2)));
+        const std::uint64_t g_bad = static_cast<std::uint64_t>(
+            all_reduce_sum(static_cast<ValType>(bad)) + 0.5);
+        if (rank_ == 0) health->observe(gate_id, g_norm2, g_bad);
+        if (ring != nullptr) {
+          obs::FlightEvent e;
+          e.ts_us = obs::trace_now_us();
+          e.gate_id = gate_id;
+          e.kind = obs::FlightEvent::kCheckpoint;
+          ring->push(e);
+        }
+        // Pure predicate over the reduced values: all ranks break together.
+        if (health->should_abort(g_norm2, g_bad)) break;
       }
     }
     sim_->stats_[static_cast<std::size_t>(rank_)] = stats_;
@@ -63,7 +111,9 @@ private:
 
   void send(int dst, std::vector<ValType>&& buf) {
     ++stats_.messages;
-    stats_.bytes += buf.size() * sizeof(ValType);
+    const std::uint64_t nbytes = buf.size() * sizeof(ValType);
+    stats_.bytes += nbytes;
+    stats_.per_dest_bytes[static_cast<std::size_t>(dst)] += nbytes;
     sim_->mailboxes_[static_cast<std::size_t>(dst)]->send(rank_,
                                                           std::move(buf));
   }
@@ -458,11 +508,14 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
     rec = std::make_unique<obs::GateRecorder>(n_ranks_,
                                               obs::Trace::global().enabled());
   }
+  const std::unique_ptr<obs::HealthMonitor> health = make_health(cfg_);
+  obs::FlightRecorder* flight = flight_on(cfg_);
+  if (flight != nullptr) flight->begin_run(name(), n_, n_ranks_);
 
   auto rank_main = [&](int r) {
     set_log_pe(r);
     Rank rank(this, r);
-    rank.execute(circuit.gates(), rec.get());
+    rank.execute(circuit.gates(), rec.get(), health.get(), flight);
   };
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
@@ -475,8 +528,22 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
   set_log_pe(-1); // the calling thread ran rank 0
 
   if (rec) rec->finish(rep, name());
+  if (health) health->finish(rep);
+  if (flight != nullptr) set_flight_pending(n_ranks_);
   const MsgStats total = stats();
   rep.comm.add_messages(total.messages, total.bytes);
+  rep.matrix.n = n_ranks_;
+  rep.matrix.bytes.assign(
+      static_cast<std::size_t>(n_ranks_) * static_cast<std::size_t>(n_ranks_),
+      0);
+  for (int r = 0; r < n_ranks_; ++r) {
+    const auto& row = stats_[static_cast<std::size_t>(r)].per_dest_bytes;
+    for (int d = 0; d < n_ranks_ && d < static_cast<int>(row.size()); ++d) {
+      rep.matrix.bytes[static_cast<std::size_t>(r) *
+                           static_cast<std::size_t>(n_ranks_) +
+                       static_cast<std::size_t>(d)] = row[static_cast<std::size_t>(d)];
+    }
+  }
 }
 
 void CoarseMsgSim::run(const Circuit& circuit) {
@@ -519,11 +586,15 @@ std::vector<IdxType> CoarseMsgSim::sample(IdxType shots) {
 
 MsgStats CoarseMsgSim::stats() const {
   MsgStats total;
+  total.per_dest_bytes.assign(static_cast<std::size_t>(n_ranks_), 0);
   for (const auto& s : stats_) {
     total.messages += s.messages;
     total.bytes += s.bytes;
     total.exchange_gates += s.exchange_gates;
     total.local_gates += s.local_gates;
+    for (std::size_t d = 0; d < s.per_dest_bytes.size(); ++d) {
+      total.per_dest_bytes[d] += s.per_dest_bytes[d];
+    }
   }
   // exchange/local gate counts are replicated per rank; report per-circuit.
   total.exchange_gates /= static_cast<std::uint64_t>(n_ranks_);

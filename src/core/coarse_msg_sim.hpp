@@ -66,6 +66,9 @@ struct MsgStats {
   std::uint64_t bytes = 0;        // payload bytes sent
   std::uint64_t exchange_gates = 0; // gates that required communication
   std::uint64_t local_gates = 0;    // gates computed purely locally
+  /// Payload bytes sent per destination rank (one row of the PE×PE
+  /// traffic matrix; its sum equals `bytes`). Empty until a run sizes it.
+  std::vector<std::uint64_t> per_dest_bytes;
 };
 
 class CoarseMsgSim final : public Simulator {

@@ -24,7 +24,10 @@
 #include "core/kernels/gates2q.hpp"
 #include "core/kernels/nonunitary.hpp"
 #include "ir/circuit.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace svsim {
 
@@ -130,18 +133,74 @@ std::vector<DeviceGate<Space>> upload_circuit(const Circuit& circuit,
 /// nvshmem_barrier_all()). When a GateRecorder is supplied each gate (plus
 /// its sync) is wrapped in an obs::Span on this worker's track; with the
 /// default null recorder the spans are branch-only no-ops.
+///
+/// When a HealthMonitor is supplied, every `every_n()` gates (and after the
+/// final gate) each worker SIMD-scans its local partition, the partial
+/// norms / non-finite counts are combined through the Space's own
+/// reduce_sum — so the checkpoint is collective and stays lockstep across
+/// workers — worker 0 records the result, and every worker evaluates the
+/// same pure abort predicate on the reduced values: an escalated abort
+/// breaks all gate loops together, with no worker left waiting at a
+/// barrier. A FlightRecorder, when enabled, gets one event per gate on
+/// this worker's ring (a few plain stores).
 template <class Space>
 void simulation_kernel(const std::vector<DeviceGate<Space>>& circuit,
-                       const Space& sp, obs::GateRecorder* rec = nullptr) {
+                       const Space& sp, obs::GateRecorder* rec = nullptr,
+                       obs::HealthMonitor* health = nullptr,
+                       obs::FlightRecorder* flight = nullptr) {
   const IdxType nw = sp.n_workers();
   const IdxType me = sp.worker();
+  obs::FlightRing* ring =
+      flight != nullptr ? flight->ring(static_cast<int>(me)) : nullptr;
+  const std::uint64_t every =
+      health != nullptr && health->every_n() > 0
+          ? static_cast<std::uint64_t>(health->every_n())
+          : 0;
+  const std::uint64_t n_gates = circuit.size();
+  std::uint64_t gate_id = 0;
   for (const DeviceGate<Space>& dg : circuit) {
-    obs::Span span(rec, static_cast<int>(me), dg.g.op);
-    const IdxType per = (dg.work + nw - 1) / nw;
-    const IdxType begin = per * me < dg.work ? per * me : dg.work;
-    const IdxType end = begin + per < dg.work ? begin + per : dg.work;
-    dg.fn(dg.g, sp, begin, end);
-    sp.sync();
+    ++gate_id;
+    if (ring != nullptr) {
+      obs::FlightEvent e;
+      e.ts_us = obs::trace_now_us();
+      e.gate_id = gate_id;
+      e.kind = obs::FlightEvent::kGate;
+      e.op = static_cast<std::uint16_t>(dg.g.op);
+      e.qb0 = static_cast<std::int32_t>(dg.g.qb0);
+      e.qb1 = static_cast<std::int32_t>(dg.g.qb1);
+      ring->push(e);
+    }
+    {
+      obs::Span span(rec, static_cast<int>(me), dg.g.op);
+      const IdxType per = (dg.work + nw - 1) / nw;
+      const IdxType begin = per * me < dg.work ? per * me : dg.work;
+      const IdxType end = begin + per < dg.work ? begin + per : dg.work;
+      dg.fn(dg.g, sp, begin, end);
+      sp.sync();
+    }
+    if (every != 0 && (gate_id % every == 0 || gate_id == n_gates)) {
+      double norm2 = 0;
+      std::uint64_t bad = 0;
+      obs::scan_amplitudes(sp.local_real(), sp.local_imag(), sp.local_count(),
+                           &norm2, &bad);
+      // Collective: the Space's own reduction keeps workers lockstep.
+      const double g_norm2 = static_cast<double>(
+          sp.reduce_sum(static_cast<ValType>(norm2)));
+      // Counts are far below 2^53, so the ValType reduction is exact.
+      const std::uint64_t g_bad = static_cast<std::uint64_t>(
+          sp.reduce_sum(static_cast<ValType>(bad)) + 0.5);
+      if (me == 0) health->observe(gate_id, g_norm2, g_bad);
+      if (ring != nullptr) {
+        obs::FlightEvent e;
+        e.ts_us = obs::trace_now_us();
+        e.gate_id = gate_id;
+        e.kind = obs::FlightEvent::kCheckpoint;
+        ring->push(e);
+      }
+      // Pure function of the reduced values: every worker reaches the
+      // same verdict, so the loops break together.
+      if (health->should_abort(g_norm2, g_bad)) break;
+    }
   }
 }
 

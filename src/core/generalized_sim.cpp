@@ -1,9 +1,14 @@
 #include "core/generalized_sim.hpp"
 
+#include <memory>
+
 #include "common/timer.hpp"
 #include "core/kernels/nonunitary.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace svsim {
 
@@ -120,17 +125,57 @@ void GeneralizedSim::run(const Circuit& circuit) {
       obs::Registry::global().counter("runs.generalized");
   runs.add();
   obs::RunReport& rep = begin_report(circuit, 1);
-  Timer::ScopedAccum wall(rep.wall_seconds);
+  std::unique_ptr<obs::GateRecorder> rec;
   if (profiling_on(cfg_)) {
-    obs::GateRecorder rec(1, obs::Trace::global().enabled());
-    for (const Gate& g : circuit.gates()) {
-      obs::Span span(&rec, 0, g.op);
-      apply_gate(g);
-    }
-    rec.finish(rep, name());
-  } else {
-    for (const Gate& g : circuit.gates()) apply_gate(g);
+    rec = std::make_unique<obs::GateRecorder>(1, obs::Trace::global().enabled());
   }
+  const std::unique_ptr<obs::HealthMonitor> health = make_health(cfg_);
+  obs::FlightRecorder* flight = flight_on(cfg_);
+  if (flight != nullptr) flight->begin_run(name(), n_, 1);
+  obs::FlightRing* ring = flight != nullptr ? flight->ring(0) : nullptr;
+  const std::uint64_t every =
+      health != nullptr && health->every_n() > 0
+          ? static_cast<std::uint64_t>(health->every_n())
+          : 0;
+  const std::uint64_t n_gates = circuit.gates().size();
+  {
+    Timer::ScopedAccum wall(rep.wall_seconds);
+    std::uint64_t gate_id = 0;
+    for (const Gate& g : circuit.gates()) {
+      ++gate_id;
+      if (ring != nullptr) {
+        obs::FlightEvent e;
+        e.ts_us = obs::trace_now_us();
+        e.gate_id = gate_id;
+        e.kind = obs::FlightEvent::kGate;
+        e.op = static_cast<std::uint16_t>(g.op);
+        e.qb0 = static_cast<std::int32_t>(g.qb0);
+        e.qb1 = static_cast<std::int32_t>(g.qb1);
+        ring->push(e);
+      }
+      {
+        obs::Span span(rec.get(), 0, g.op);
+        apply_gate(g);
+      }
+      if (every != 0 && (gate_id % every == 0 || gate_id == n_gates)) {
+        double norm2 = 0;
+        std::uint64_t bad = 0;
+        obs::scan_amplitudes(real_.data(), imag_.data(), dim_, &norm2, &bad);
+        health->observe(gate_id, norm2, bad);
+        if (ring != nullptr) {
+          obs::FlightEvent e;
+          e.ts_us = obs::trace_now_us();
+          e.gate_id = gate_id;
+          e.kind = obs::FlightEvent::kCheckpoint;
+          ring->push(e);
+        }
+        if (health->should_abort(norm2, bad)) break;
+      }
+    }
+  }
+  if (rec) rec->finish(rep, name());
+  if (health) health->finish(rep);
+  if (flight != nullptr) set_flight_pending(1);
 }
 
 StateVector GeneralizedSim::state() const {

@@ -59,12 +59,24 @@ void PeerSim::execute(const Circuit& circuit) {
 
   shmem::Barrier grid(n_dev_); // the multi-device grid (grid.sync())
   traffic_.assign(static_cast<std::size_t>(n_dev_), PeerTraffic{});
+  dest_counts_.assign(
+      static_cast<std::size_t>(n_dev_) * static_cast<std::size_t>(n_dev_), 0);
+  if (cfg_.count_traffic) {
+    for (int d = 0; d < n_dev_; ++d) {
+      traffic_[static_cast<std::size_t>(d)].per_dest =
+          dest_counts_.data() + static_cast<std::size_t>(d) *
+                                    static_cast<std::size_t>(n_dev_);
+    }
+  }
 
   std::unique_ptr<obs::GateRecorder> rec;
   if (profiling_on(cfg_)) {
     rec = std::make_unique<obs::GateRecorder>(n_dev_,
                                               obs::Trace::global().enabled());
   }
+  const std::unique_ptr<obs::HealthMonitor> health = make_health(cfg_);
+  obs::FlightRecorder* flight = flight_on(cfg_);
+  if (flight != nullptr) flight->begin_run(name(), n_, n_dev_);
 
   auto device_main = [&](int d) {
     set_log_pe(d);
@@ -81,7 +93,7 @@ void PeerSim::execute(const Circuit& circuit) {
     sp.scratch = scratch_.data();
     sp.traffic = cfg_.count_traffic ? &traffic_[static_cast<std::size_t>(d)]
                                     : nullptr;
-    simulation_kernel(device_circuit, sp, rec.get());
+    simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
   };
 
   {
@@ -97,8 +109,18 @@ void PeerSim::execute(const Circuit& circuit) {
   set_log_pe(-1); // the calling thread ran device 0
 
   if (rec) rec->finish(rep, name());
+  if (health) health->finish(rep);
+  if (flight != nullptr) set_flight_pending(n_dev_);
   const PeerTraffic total = traffic();
   rep.comm.add_peer(total.local_access, total.remote_access);
+  if (cfg_.count_traffic) {
+    // Element accesses -> bytes: every peer access moves one ValType.
+    rep.matrix.n = n_dev_;
+    rep.matrix.bytes.assign(dest_counts_.size(), 0);
+    for (std::size_t i = 0; i < dest_counts_.size(); ++i) {
+      rep.matrix.bytes[i] = dest_counts_[i] * sizeof(ValType);
+    }
+  }
 }
 
 void PeerSim::run(const Circuit& circuit) {

@@ -63,6 +63,9 @@ private:
   std::vector<Rng> rngs_; // per-worker replicas, same seed (lockstep)
   std::vector<ValType> scratch_;
   std::vector<PeerTraffic> traffic_;
+  // Flat n_dev×n_dev element-access counts (row d = device d's accesses by
+  // owning partition); each PeerTraffic::per_dest points at its row.
+  std::vector<std::uint64_t> dest_counts_;
 };
 
 } // namespace svsim

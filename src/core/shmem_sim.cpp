@@ -76,6 +76,9 @@ void ShmemSim::execute(const Circuit& circuit) {
     rec = std::make_unique<obs::GateRecorder>(n_pes_,
                                               obs::Trace::global().enabled());
   }
+  const std::unique_ptr<obs::HealthMonitor> health = make_health(cfg_);
+  obs::FlightRecorder* flight = flight_on(cfg_);
+  if (flight != nullptr) flight->begin_run(name(), n_, n_pes_);
 
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
@@ -88,12 +91,16 @@ void ShmemSim::execute(const Circuit& circuit) {
       sp.dim = dim_;
       sp.mctx = &mctx_;
       sp.rng = &rngs_[static_cast<std::size_t>(ctx.pe())];
-      simulation_kernel(device_circuit, sp, rec.get());
+      simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
     });
   }
   last_traffic_ = runtime_.aggregate_traffic();
   if (rec) rec->finish(rep, name());
+  if (health) health->finish(rep);
+  if (flight != nullptr) set_flight_pending(n_pes_);
   rep.comm.add_shmem(last_traffic_);
+  rep.matrix.n = n_pes_;
+  rep.matrix.bytes = runtime_.traffic_matrix();
 }
 
 void ShmemSim::run(const Circuit& circuit) {

@@ -41,6 +41,10 @@ public:
 
   /// Aggregate one-sided traffic of the last run() across PEs.
   shmem::TrafficStats traffic() const { return last_traffic_; }
+  /// Per-PE counters of the last run() (index = PE id).
+  const std::vector<shmem::TrafficStats>& per_pe_traffic() const {
+    return runtime_.per_pe_traffic();
+  }
 
 private:
   void execute(const Circuit& circuit);

@@ -16,6 +16,7 @@
 #include "core/state_vector.hpp"
 #include "ir/circuit.hpp"
 #include "ir/fusion.hpp"
+#include "obs/health.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -73,8 +74,17 @@ public:
 
   /// Instrumentation record of the most recent run()/sample(): gate
   /// counts by kind, per-gate-kind time (when profiling), fusion stats,
-  /// and unified local/remote communication totals.
-  const obs::RunReport& last_report() const { return report_; }
+  /// unified local/remote communication totals, health results, the
+  /// PE×PE traffic matrix, and the flight-recorder events. The flight
+  /// drain is deferred to here: copying up to 256 events per worker on
+  /// every run() would dominate single-gate circuits.
+  const obs::RunReport& last_report() const {
+    if (flight_workers_ > 0) {
+      report_.flight = obs::FlightRecorder::global().drain(flight_workers_);
+      flight_workers_ = 0;
+    }
+    return report_;
+  }
 
 protected:
   /// Reset and stamp the report at the top of a run(). Backends wrap the
@@ -82,6 +92,7 @@ protected:
   /// traffic counters at the end.
   obs::RunReport& begin_report(const Circuit& circuit, int n_workers) {
     report_ = obs::RunReport{};
+    flight_workers_ = 0;
     report_.backend = name();
     report_.n_qubits = n_qubits();
     report_.n_workers = n_workers;
@@ -94,7 +105,31 @@ protected:
     return cfg.profile || !obs::env_profile_path().empty();
   }
 
-  obs::RunReport report_;
+  /// A HealthMonitor for this run, or nullptr when monitoring is off
+  /// (neither SimConfig::health_every_n nor SVSIM_HEALTH set).
+  static std::unique_ptr<obs::HealthMonitor> make_health(const SimConfig& cfg) {
+    const obs::HealthMonitor::Options o = obs::HealthMonitor::options(cfg);
+    if (o.every_n <= 0) return nullptr;
+    return std::make_unique<obs::HealthMonitor>(o);
+  }
+
+  /// The process flight recorder, or nullptr when the config or
+  /// SVSIM_FLIGHT=0 turned it off.
+  static obs::FlightRecorder* flight_on(const SimConfig& cfg) {
+    if (!cfg.flight) return nullptr;
+    obs::FlightRecorder& fr = obs::FlightRecorder::global();
+    return fr.enabled() ? &fr : nullptr;
+  }
+
+  /// Record that this run's flight events should be drained into the
+  /// report at the next last_report() call (instead of eagerly, which
+  /// would put a multi-KB copy on the per-run() path).
+  void set_flight_pending(int n_workers) const { flight_workers_ = n_workers; }
+
+  mutable obs::RunReport report_;
+
+private:
+  mutable int flight_workers_ = 0;
 };
 
 } // namespace svsim

@@ -45,14 +45,21 @@ void SingleSim::run(const Circuit& circuit) {
   obs::RunReport& rep = begin_report(circuit, 1);
   const auto device_circuit = upload_circuit<LocalSpace>(circuit, *table_);
   const LocalSpace sp = make_space();
-  Timer::ScopedAccum wall(rep.wall_seconds);
-  if (profiling_on(cfg_)) {
-    obs::GateRecorder rec(1, obs::Trace::global().enabled());
-    simulation_kernel(device_circuit, sp, &rec);
-    rec.finish(rep, name());
-  } else {
-    simulation_kernel(device_circuit, sp);
+  const std::unique_ptr<obs::HealthMonitor> health = make_health(cfg_);
+  obs::FlightRecorder* flight = flight_on(cfg_);
+  if (flight != nullptr) flight->begin_run(name(), n_, 1);
+  {
+    Timer::ScopedAccum wall(rep.wall_seconds);
+    if (profiling_on(cfg_)) {
+      obs::GateRecorder rec(1, obs::Trace::global().enabled());
+      simulation_kernel(device_circuit, sp, &rec, health.get(), flight);
+      rec.finish(rep, name());
+    } else {
+      simulation_kernel(device_circuit, sp, nullptr, health.get(), flight);
+    }
   }
+  if (health) health->finish(rep);
+  if (flight != nullptr) set_flight_pending(1);
 }
 
 StateVector SingleSim::state() const {

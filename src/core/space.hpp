@@ -59,13 +59,22 @@ struct LocalSpace {
   void sync() const {}
   ValType reduce_sum(ValType v) const { return v; }
   ValType collective_uniform() const { return rng->next_double(); }
+
+  // --- local partition view (health-monitor scans) ---
+  const ValType* local_real() const { return real; }
+  const ValType* local_imag() const { return imag; }
+  IdxType local_count() const { return dim; }
 };
 
 /// Per-device communication counters for the peer tier (local vs
-/// remote-partition element accesses through the pointer array).
+/// remote-partition element accesses through the pointer array). When
+/// `per_dest` points at an n_workers-sized array, every access is also
+/// attributed to the partition it touched — the raw data for the run
+/// report's PE×PE traffic matrix.
 struct PeerTraffic {
   std::uint64_t local_access = 0;
   std::uint64_t remote_access = 0;
+  std::uint64_t* per_dest = nullptr; // element accesses by owning device
 };
 
 // ---------------------------------------------------------------------------
@@ -89,11 +98,13 @@ struct PeerSpace {
 
   void count(IdxType i) const {
     if (traffic != nullptr) {
-      if ((i >> lg_part) == worker_id) {
+      const IdxType dest = i >> lg_part;
+      if (dest == worker_id) {
         ++traffic->local_access;
       } else {
         ++traffic->remote_access;
       }
+      if (traffic->per_dest != nullptr) ++traffic->per_dest[dest];
     }
   }
 
@@ -128,6 +139,11 @@ struct PeerSpace {
   }
 
   ValType collective_uniform() const { return rng->next_double(); }
+
+  // --- local partition view (health-monitor scans) ---
+  const ValType* local_real() const { return real_parts[worker_id]; }
+  const ValType* local_imag() const { return imag_parts[worker_id]; }
+  IdxType local_count() const { return pow2(lg_part); }
 };
 
 // ---------------------------------------------------------------------------
@@ -164,6 +180,11 @@ struct ShmemSpace {
   void sync() const { ctx->barrier_all(); }
   ValType reduce_sum(ValType v) const { return ctx->all_reduce_sum(v); }
   ValType collective_uniform() const { return rng->next_double(); }
+
+  // --- local partition view (health-monitor scans) ---
+  const ValType* local_real() const { return real_sym; }
+  const ValType* local_imag() const { return imag_sym; }
+  IdxType local_count() const { return pow2(lg_part); }
 };
 
 } // namespace svsim

@@ -1,0 +1,178 @@
+#include "obs/health.hpp"
+
+#include <cfloat>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "common/logging.hpp"
+
+namespace svsim::obs {
+
+namespace {
+
+/// Scalar reference: Σv² plus a count of non-finite entries.
+inline void scan_array_scalar(const ValType* v, IdxType count, double* sq,
+                              std::uint64_t* bad) {
+  double acc = 0;
+  std::uint64_t nf = 0;
+  for (IdxType i = 0; i < count; ++i) {
+    const double x = v[i];
+    acc += x * x;
+    // !(|x| <= DBL_MAX) is true exactly for NaN (unordered) and ±Inf.
+    if (!(std::fabs(x) <= DBL_MAX)) ++nf;
+  }
+  *sq += acc;
+  *bad += nf;
+}
+
+#if defined(__AVX512F__)
+
+inline void scan_array(const ValType* v, IdxType count, double* sq,
+                       std::uint64_t* bad) {
+  const __m512d abs_mask =
+      _mm512_castsi512_pd(_mm512_set1_epi64(0x7fffffffffffffffLL));
+  const __m512d dbl_max = _mm512_set1_pd(DBL_MAX);
+  __m512d acc = _mm512_setzero_pd();
+  std::uint64_t nf = 0;
+  IdxType i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m512d x = _mm512_loadu_pd(v + i);
+    acc = _mm512_fmadd_pd(x, x, acc);
+    const __m512d ax = _mm512_and_pd(x, abs_mask);
+    // NLE_UQ: |x| not-less-equal DBL_MAX, unordered (NaN) included.
+    nf += static_cast<std::uint64_t>(__builtin_popcount(
+        _mm512_cmp_pd_mask(ax, dbl_max, _CMP_NLE_UQ)));
+  }
+  *sq += _mm512_reduce_add_pd(acc);
+  *bad += nf;
+  if (i < count) scan_array_scalar(v + i, count - i, sq, bad);
+}
+
+#elif defined(__AVX2__)
+
+inline void scan_array(const ValType* v, IdxType count, double* sq,
+                       std::uint64_t* bad) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d dbl_max = _mm256_set1_pd(DBL_MAX);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t nf = 0;
+  IdxType i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(x, x));
+    const __m256d ax = _mm256_and_pd(x, abs_mask);
+    const __m256d m = _mm256_cmp_pd(ax, dbl_max, _CMP_NLE_UQ);
+    nf += static_cast<std::uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(m))));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  *sq += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  *bad += nf;
+  if (i < count) scan_array_scalar(v + i, count - i, sq, bad);
+}
+
+#else
+
+inline void scan_array(const ValType* v, IdxType count, double* sq,
+                       std::uint64_t* bad) {
+  scan_array_scalar(v, count, sq, bad);
+}
+
+#endif
+
+} // namespace
+
+void scan_amplitudes(const ValType* re, const ValType* im, IdxType count,
+                     double* norm2, std::uint64_t* non_finite) {
+  double sq = 0;
+  std::uint64_t bad = 0;
+  scan_array(re, count, &sq, &bad);
+  scan_array(im, count, &sq, &bad);
+  *norm2 = sq;
+  *non_finite = bad;
+}
+
+int env_health_every() {
+  static const int every = [] {
+    const char* e = std::getenv("SVSIM_HEALTH");
+    if (e == nullptr || *e == '\0') return 0;
+    const int n = std::atoi(e);
+    return n > 0 ? n : 0;
+  }();
+  return every;
+}
+
+double env_health_abort() {
+  static const double drift = [] {
+    const char* e = std::getenv("SVSIM_HEALTH_ABORT");
+    if (e == nullptr || *e == '\0') return 0.0;
+    const double d = std::atof(e);
+    return d > 0 ? d : 0.0;
+  }();
+  return drift;
+}
+
+HealthMonitor::Options HealthMonitor::options(const SimConfig& cfg) {
+  Options o;
+  o.every_n = cfg.health_every_n > 0 ? cfg.health_every_n : env_health_every();
+  o.warn_drift = cfg.health_warn_drift;
+  const double env_abort = env_health_abort();
+  o.abort_drift = cfg.health_abort_drift > 0 ? cfg.health_abort_drift : env_abort;
+  o.abort_on_nan = cfg.health_abort_on_nan || env_abort > 0;
+  return o;
+}
+
+void HealthMonitor::observe(std::uint64_t gate_hi, double norm2,
+                            std::uint64_t non_finite) {
+  ++stats_.checks;
+  stats_.last_norm2 = norm2;
+  if (non_finite != 0) {
+    ++stats_.nan_checks;
+    if (non_finite > stats_.non_finite) stats_.non_finite = non_finite;
+    if (stats_.nan_checks <= 5) { // rate-limit: the state rarely heals
+      log_warn("health: ", non_finite, " non-finite amplitude value",
+               non_finite == 1 ? "" : "s", " in gate range (", prev_gate_,
+               ", ", gate_hi, "]");
+    }
+  } else if (std::isfinite(norm2)) {
+    const double drift = std::fabs(norm2 - 1.0);
+    if (drift > stats_.max_drift) {
+      stats_.max_drift = drift;
+      stats_.drift_gate_lo = prev_gate_;
+      stats_.drift_gate_hi = gate_hi;
+    }
+    if (drift > opt_.warn_drift) {
+      ++stats_.warns;
+      if (stats_.warns <= 5) {
+        log_warn("health: norm drift |‖ψ‖²-1| = ", drift,
+                 " in gate range (", prev_gate_, ", ", gate_hi, "]");
+      }
+    }
+  }
+  if (should_abort(norm2, non_finite)) {
+    stats_.aborted = true;
+    log_error("health: abort threshold tripped after gate ", gate_hi,
+              " (norm² = ", norm2, ", non-finite = ", non_finite,
+              "); stopping the run");
+  }
+  prev_gate_ = gate_hi;
+}
+
+bool HealthMonitor::should_abort(double norm2,
+                                 std::uint64_t non_finite) const {
+  if (opt_.abort_on_nan && non_finite != 0) return true;
+  if (opt_.abort_drift > 0) {
+    // A non-finite norm is "infinite drift": above any threshold.
+    if (!std::isfinite(norm2)) return true;
+    return std::fabs(norm2 - 1.0) > opt_.abort_drift;
+  }
+  return false;
+}
+
+} // namespace svsim::obs

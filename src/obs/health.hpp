@@ -1,0 +1,89 @@
+// obs::HealthMonitor — streaming numerical-invariant checks over the
+// partitioned state vector.
+//
+// A state-vector simulation has two invariants worth watching while it
+// runs: every amplitude stays finite, and ‖ψ‖² stays 1 (unitary gates
+// preserve it; measurement renormalizes it). Silent violations — a NaN
+// injected by a bad initial state, norm drift accumulated over millions
+// of rotation gates — corrupt every downstream sample without any
+// visible failure. The monitor checks both at a configurable gate
+// cadence: each worker SIMD-scans its *local* partition (no extra
+// communication beyond one reduction), worker 0 records the globally
+// reduced result, and every worker evaluates the same escalation
+// decision so distributed backends break out of the gate loop together
+// instead of deadlocking at the next barrier.
+//
+// Escalation policy: every violation counts (HealthStats), violations
+// above the warn threshold log WARN, and drift above the abort
+// threshold (or any non-finite value when abort-on-NaN is set) stops
+// the run with HealthStats::aborted — the run's report survives, the
+// state vector is left as-is for forensics.
+//
+// Activation: SimConfig::health_every_n, or the SVSIM_HEALTH=<n>
+// environment variable (checkpoint every n gates; SVSIM_HEALTH=1 checks
+// after every gate). SVSIM_HEALTH_ABORT=<drift> sets the abort
+// threshold and turns on abort-on-NaN.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "obs/report.hpp"
+
+namespace svsim::obs {
+
+/// SIMD scan of one partition: accumulates Σ(re²+im²) into *norm2 and
+/// counts non-finite (NaN/Inf) values into *non_finite. Uses the widest
+/// available vector path (AVX-512 / AVX2 / scalar).
+void scan_amplitudes(const ValType* re, const ValType* im, IdxType count,
+                     double* norm2, std::uint64_t* non_finite);
+
+/// Checkpoint cadence from SVSIM_HEALTH (0 = unset/off). Read once.
+int env_health_every();
+
+/// Abort drift threshold from SVSIM_HEALTH_ABORT (0 = unset). Read once.
+double env_health_abort();
+
+class HealthMonitor {
+public:
+  struct Options {
+    int every_n = 0;           // <= 0: monitoring off
+    double warn_drift = 1e-6;  // |‖ψ‖²−1| above this logs WARN + counts
+    double abort_drift = 0;    // 0 = never abort on drift
+    bool abort_on_nan = false; // abort as soon as a non-finite amp appears
+  };
+
+  /// Merge SimConfig fields with the SVSIM_HEALTH / SVSIM_HEALTH_ABORT
+  /// environment (config wins where it is explicitly set).
+  static Options options(const SimConfig& cfg);
+
+  explicit HealthMonitor(Options opt) : opt_(opt) {
+    stats_.enabled = true;
+    stats_.every_n = opt.every_n;
+  }
+
+  int every_n() const { return opt_.every_n; }
+
+  /// Record one checkpoint from globally reduced values. Exactly one
+  /// worker (worker 0) calls this per checkpoint; it updates the stats
+  /// and performs the WARN-log escalation.
+  void observe(std::uint64_t gate_hi, double norm2, std::uint64_t non_finite);
+
+  /// The abort decision as a pure function of the reduced values, so
+  /// every worker — each holding the same reduction result — reaches the
+  /// same verdict and distributed gate loops stop in lockstep.
+  bool should_abort(double norm2, std::uint64_t non_finite) const;
+
+  const HealthStats& stats() const { return stats_; }
+
+  /// Fold the accumulated stats into the run's report.
+  void finish(RunReport& report) { report.health = stats_; }
+
+private:
+  Options opt_;
+  HealthStats stats_;
+  std::uint64_t prev_gate_ = 0; // gate index of the previous checkpoint
+};
+
+} // namespace svsim::obs

@@ -29,6 +29,127 @@ void CommStats::add_messages(std::uint64_t messages_, std::uint64_t bytes_) {
   bytes += bytes_;
 }
 
+std::uint64_t TrafficMatrix::total() const {
+  std::uint64_t t = 0;
+  for (const std::uint64_t b : bytes) t += b;
+  return t;
+}
+
+std::uint64_t TrafficMatrix::row_sum(int src) const {
+  std::uint64_t t = 0;
+  for (int d = 0; d < n; ++d) t += at(src, d);
+  return t;
+}
+
+std::uint64_t TrafficMatrix::col_sum(int dst) const {
+  std::uint64_t t = 0;
+  for (int s = 0; s < n; ++s) t += at(s, dst);
+  return t;
+}
+
+std::uint64_t TrafficMatrix::remote_total() const {
+  std::uint64_t t = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s != d) t += at(s, d);
+    }
+  }
+  return t;
+}
+
+TrafficMatrix::Imbalance TrafficMatrix::imbalance() const {
+  Imbalance im;
+  if (n < 2) return im;
+  std::uint64_t sum = 0;
+  std::uint64_t links = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const std::uint64_t b = at(s, d);
+      sum += b;
+      if (b != 0) ++links;
+      if (b > im.busiest_bytes) {
+        im.busiest_bytes = b;
+        im.busiest_src = s;
+        im.busiest_dst = d;
+      }
+    }
+  }
+  if (links != 0 && sum != 0) {
+    const double mean = static_cast<double>(sum) / static_cast<double>(links);
+    im.max_mean_ratio = static_cast<double>(im.busiest_bytes) / mean;
+  }
+  return im;
+}
+
+namespace {
+
+/// "1.2K" / "34M" style fixed-width byte quantity for matrix cells.
+void human_bytes(char* buf, std::size_t len, std::uint64_t b) {
+  if (b >= 10ull << 30) {
+    std::snprintf(buf, len, "%lluG", static_cast<unsigned long long>(b >> 30));
+  } else if (b >= 10ull << 20) {
+    std::snprintf(buf, len, "%lluM", static_cast<unsigned long long>(b >> 20));
+  } else if (b >= 10ull << 10) {
+    std::snprintf(buf, len, "%lluK", static_cast<unsigned long long>(b >> 10));
+  } else {
+    std::snprintf(buf, len, "%llu", static_cast<unsigned long long>(b));
+  }
+}
+
+} // namespace
+
+std::string TrafficMatrix::table() const {
+  std::ostringstream os;
+  if (empty()) return "  traffic matrix: (not recorded)\n";
+  const Imbalance im = imbalance();
+  // Shade each cell relative to the busiest off-diagonal link so hotspots
+  // read at a glance; the diagonal (local traffic) is marked '·'.
+  static const char kShade[] = {' ', '.', ':', '+', '#'};
+  os << "  traffic matrix (bytes issued src -> dst; shade # = busiest "
+        "link, diagonal = local):\n";
+  char buf[32];
+  os << "            ";
+  for (int d = 0; d < n; ++d) {
+    std::snprintf(buf, sizeof(buf), "%9s%-2d", "dst", d);
+    os << buf;
+  }
+  os << "        total\n";
+  for (int s = 0; s < n; ++s) {
+    std::snprintf(buf, sizeof(buf), "    src %-4d", s);
+    os << buf;
+    for (int d = 0; d < n; ++d) {
+      const std::uint64_t b = at(s, d);
+      char cell[16];
+      human_bytes(cell, sizeof(cell), b);
+      char shade = ' ';
+      if (s == d) {
+        shade = b != 0 ? '.' : ' ';
+      } else if (im.busiest_bytes != 0 && b != 0) {
+        const double rel =
+            static_cast<double>(b) / static_cast<double>(im.busiest_bytes);
+        shade = kShade[rel >= 0.999 ? 4 : rel >= 0.75 ? 3 : rel >= 0.5 ? 2
+                       : rel >= 0.25 ? 1 : 0];
+        if (shade == ' ') shade = '.';
+      }
+      std::snprintf(buf, sizeof(buf), "%9s %c", cell, shade);
+      os << buf;
+    }
+    char rt[16];
+    human_bytes(rt, sizeof(rt), row_sum(s));
+    std::snprintf(buf, sizeof(buf), "%13s\n", rt);
+    os << buf;
+  }
+  if (im.busiest_src >= 0) {
+    char bb[16];
+    human_bytes(bb, sizeof(bb), im.busiest_bytes);
+    std::snprintf(buf, sizeof(buf), "%.2f", im.max_mean_ratio);
+    os << "    busiest link " << im.busiest_src << " -> " << im.busiest_dst
+       << " (" << bb << "), max/mean over links = " << buf << "\n";
+  }
+  return os.str();
+}
+
 void tally_gates(RunReport& report, const Circuit& circuit) {
   for (const Gate& g : circuit.gates()) {
     ++report.by_op[static_cast<std::size_t>(g.op)].count;
@@ -94,6 +215,31 @@ std::string RunReport::summary() const {
                   static_cast<unsigned long long>(comm.bytes),
                   static_cast<unsigned long long>(comm.messages),
                   static_cast<unsigned long long>(comm.barriers));
+    os << buf;
+  }
+
+  if (health.enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "  health: %llu checks (every %d gates), max |norm2-1| = "
+                  "%.3g (gates %llu..%llu), nan checks %llu, warns %llu%s\n",
+                  static_cast<unsigned long long>(health.checks),
+                  health.every_n, health.max_drift,
+                  static_cast<unsigned long long>(health.drift_gate_lo),
+                  static_cast<unsigned long long>(health.drift_gate_hi),
+                  static_cast<unsigned long long>(health.nan_checks),
+                  static_cast<unsigned long long>(health.warns),
+                  health.aborted ? ", ABORTED" : "");
+    os << buf;
+  }
+
+  if (!matrix.empty()) {
+    const TrafficMatrix::Imbalance im = matrix.imbalance();
+    std::snprintf(buf, sizeof(buf),
+                  "  traffic: %d PEs, %llu bytes (%llu remote), busiest link "
+                  "%d -> %d, max/mean %.2f\n",
+                  matrix.n, static_cast<unsigned long long>(matrix.total()),
+                  static_cast<unsigned long long>(matrix.remote_total()),
+                  im.busiest_src, im.busiest_dst, im.max_mean_ratio);
     os << buf;
   }
   return os.str();

@@ -2,19 +2,25 @@
 //
 // Every Simulator fills one of these per run: gate counts by kind
 // (always), per-gate-kind accumulated time (when profiling is on), the
-// fusion stats of the circuit it executed (when the caller fused), and
-// the unified communication totals that previously lived in three
-// backend-specific structs (shmem::TrafficStats, PeerTraffic, MsgStats).
-// Retrieved through the non-virtual Simulator::last_report().
+// fusion stats of the circuit it executed (when the caller fused), the
+// unified communication totals that previously lived in three
+// backend-specific structs (shmem::TrafficStats, PeerTraffic, MsgStats),
+// and — since the health/forensics tier — numerical-health results
+// (HealthStats), the per-PE×PE traffic matrix with imbalance metrics
+// (TrafficMatrix), and the flight-recorder events drained on success.
+// Retrieved through the non-virtual Simulator::last_report(); exported as
+// JSON by obs::to_json().
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "ir/fusion.hpp"
 #include "ir/op.hpp"
+#include "obs/flight.hpp"
 #include "shmem/shmem.hpp"
 
 namespace svsim {
@@ -44,6 +50,57 @@ struct GateKindStats {
   double seconds = 0; // CPU-seconds summed over workers; 0 unless profiled
 };
 
+/// Result of the streaming numerical-invariant checks (HealthMonitor).
+/// All-zero/defaults unless the monitor was enabled for the run.
+struct HealthStats {
+  bool enabled = false;
+  int every_n = 0;              // checkpoint cadence in gates
+  std::uint64_t checks = 0;     // checkpoints evaluated
+  std::uint64_t nan_checks = 0; // checkpoints that saw non-finite amplitudes
+  std::uint64_t non_finite = 0; // worst per-checkpoint non-finite amp count
+  double max_drift = 0;         // running max of |‖ψ‖² − 1|
+  double last_norm2 = 1.0;      // ‖ψ‖² at the last checkpoint
+  std::uint64_t drift_gate_lo = 0; // gate range (lo, hi] that introduced
+  std::uint64_t drift_gate_hi = 0; // the max drift
+  std::uint64_t warns = 0;      // checkpoints above the warn threshold
+  bool aborted = false;         // escalation stopped the run early
+
+  /// Anything worth a non-zero exit code from a runner?
+  bool tripped() const { return nan_checks != 0 || warns != 0 || aborted; }
+};
+
+/// Per-PE×PE communication volume from the last run(), row-major
+/// [src * n + dst] in bytes moved by one-sided ops issued by `src`
+/// targeting `dst` (diagonal = local traffic). Empty (n == 0) for
+/// single-device backends and when traffic counting is off.
+struct TrafficMatrix {
+  int n = 0;
+  std::vector<std::uint64_t> bytes;
+
+  bool empty() const { return n == 0; }
+  std::uint64_t at(int src, int dst) const {
+    return bytes[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(dst)];
+  }
+  std::uint64_t total() const;
+  std::uint64_t row_sum(int src) const;    // bytes issued by src
+  std::uint64_t col_sum(int dst) const;    // bytes landing on dst
+  std::uint64_t remote_total() const;      // off-diagonal only
+
+  /// Derived imbalance metrics over the off-diagonal links.
+  struct Imbalance {
+    double max_mean_ratio = 0; // busiest link / mean non-zero link
+    int busiest_src = -1;
+    int busiest_dst = -1;
+    std::uint64_t busiest_bytes = 0;
+  };
+  Imbalance imbalance() const;
+
+  /// Aligned heatmap-style table (one row per source PE, shaded cells
+  /// relative to the busiest link) for terminal display.
+  std::string table() const;
+};
+
 struct RunReport {
   std::string backend;
   IdxType n_qubits = 0;
@@ -56,14 +113,24 @@ struct RunReport {
   std::array<GateKindStats, static_cast<std::size_t>(kNumOps)> by_op{};
   FusionStats fusion; // zeros unless the circuit went through run_fused()
   CommStats comm;
+  HealthStats health;   // numerical-health tier (defaults when disabled)
+  TrafficMatrix matrix; // per-PE×PE traffic (distributed backends only)
+  /// Flight-recorder events drained at the end of a successful run
+  /// (empty when the recorder is disabled).
+  std::vector<FlightEvent> flight;
 
   const GateKindStats& of(OP op) const {
     return by_op[static_cast<std::size_t>(op)];
   }
 
-  /// Human-readable per-gate-kind breakdown + comm totals.
+  /// Human-readable per-gate-kind breakdown + comm totals + health line.
   std::string summary() const;
 };
+
+/// Machine-readable export of the full report (schema "svsim-report-v1"):
+/// gate/fusion/comm sections plus the health, traffic-matrix and flight
+/// sections. Always valid RFC 8259 JSON (non-finite numbers become null).
+std::string to_json(const RunReport& report);
 
 /// Count `circuit`'s gates by kind into `report` (cheap; runs even with
 /// profiling off so every report has the count breakdown).

@@ -1,0 +1,189 @@
+// obs::to_json — RunReport as RFC 8259 JSON (schema "svsim-report-v1").
+//
+// Hand-rolled emitter kept next to the report type on purpose: jsonlite
+// stays a pure validator, and the schema is small enough that a builder
+// library would be more code than the emitter. Non-finite doubles are
+// emitted as null so the output always validates.
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/report.hpp"
+
+namespace svsim::obs {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_double(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null"; // NaN/Inf are not JSON; null keeps the document valid
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void append_u64(std::ostringstream& os, std::uint64_t v) {
+  os << static_cast<unsigned long long>(v);
+}
+
+} // namespace
+
+std::string to_json(const RunReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"svsim-report-v1\",";
+  os << "\"backend\":";
+  append_escaped(os, report.backend);
+  os << ",\"n_qubits\":" << static_cast<long long>(report.n_qubits);
+  os << ",\"n_workers\":" << report.n_workers;
+  os << ",\"total_gates\":";
+  append_u64(os, report.total_gates);
+  os << ",\"wall_seconds\":";
+  append_double(os, report.wall_seconds);
+  os << ",\"profiled\":" << (report.profiled ? "true" : "false");
+
+  os << ",\"gates\":[";
+  bool first = true;
+  for (int i = 0; i < kNumOps; ++i) {
+    const GateKindStats& s = report.by_op[static_cast<std::size_t>(i)];
+    if (s.count == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"op\":";
+    append_escaped(os, op_name(static_cast<OP>(i)));
+    os << ",\"count\":";
+    append_u64(os, s.count);
+    os << ",\"seconds\":";
+    append_double(os, s.seconds);
+    os << '}';
+  }
+  os << ']';
+
+  os << ",\"fusion\":{\"gates_before\":"
+     << static_cast<long long>(report.fusion.gates_before)
+     << ",\"gates_after\":" << static_cast<long long>(report.fusion.gates_after)
+     << ",\"fused_1q\":" << static_cast<long long>(report.fusion.fused_1q)
+     << ",\"cancelled_2q\":"
+     << static_cast<long long>(report.fusion.cancelled_2q)
+     << ",\"dropped_identity\":"
+     << static_cast<long long>(report.fusion.dropped_identity) << '}';
+
+  os << ",\"comm\":{\"local_ops\":";
+  append_u64(os, report.comm.local_ops);
+  os << ",\"remote_ops\":";
+  append_u64(os, report.comm.remote_ops);
+  os << ",\"bytes\":";
+  append_u64(os, report.comm.bytes);
+  os << ",\"messages\":";
+  append_u64(os, report.comm.messages);
+  os << ",\"barriers\":";
+  append_u64(os, report.comm.barriers);
+  os << '}';
+
+  const HealthStats& h = report.health;
+  os << ",\"health\":{\"enabled\":" << (h.enabled ? "true" : "false")
+     << ",\"every_n\":" << h.every_n << ",\"checks\":";
+  append_u64(os, h.checks);
+  os << ",\"nan_checks\":";
+  append_u64(os, h.nan_checks);
+  os << ",\"non_finite\":";
+  append_u64(os, h.non_finite);
+  os << ",\"max_drift\":";
+  append_double(os, h.max_drift);
+  os << ",\"last_norm2\":";
+  append_double(os, h.last_norm2);
+  os << ",\"drift_gate_lo\":";
+  append_u64(os, h.drift_gate_lo);
+  os << ",\"drift_gate_hi\":";
+  append_u64(os, h.drift_gate_hi);
+  os << ",\"warns\":";
+  append_u64(os, h.warns);
+  os << ",\"aborted\":" << (h.aborted ? "true" : "false")
+     << ",\"tripped\":" << (h.tripped() ? "true" : "false") << '}';
+
+  if (report.matrix.empty()) {
+    os << ",\"traffic_matrix\":null";
+  } else {
+    const TrafficMatrix& m = report.matrix;
+    const TrafficMatrix::Imbalance im = m.imbalance();
+    os << ",\"traffic_matrix\":{\"n\":" << m.n << ",\"bytes\":[";
+    for (int s = 0; s < m.n; ++s) {
+      if (s != 0) os << ',';
+      os << '[';
+      for (int d = 0; d < m.n; ++d) {
+        if (d != 0) os << ',';
+        append_u64(os, m.at(s, d));
+      }
+      os << ']';
+    }
+    os << "],\"per_pe_bytes\":[";
+    for (int s = 0; s < m.n; ++s) {
+      if (s != 0) os << ',';
+      append_u64(os, m.row_sum(s));
+    }
+    os << "],\"total_bytes\":";
+    append_u64(os, m.total());
+    os << ",\"remote_bytes\":";
+    append_u64(os, m.remote_total());
+    os << ",\"max_mean_ratio\":";
+    append_double(os, im.max_mean_ratio);
+    os << ",\"busiest\":{\"src\":" << im.busiest_src
+       << ",\"dst\":" << im.busiest_dst << ",\"bytes\":";
+    append_u64(os, im.busiest_bytes);
+    os << "}}";
+  }
+
+  os << ",\"flight\":{\"count\":" << report.flight.size() << ",\"events\":[";
+  // Cap the exported tail: the rings retain up to 256 events per worker,
+  // far more than a report reader wants inline.
+  constexpr std::size_t kMaxExported = 128;
+  const std::size_t start =
+      report.flight.size() > kMaxExported ? report.flight.size() - kMaxExported
+                                          : 0;
+  for (std::size_t i = start; i < report.flight.size(); ++i) {
+    const FlightEvent& e = report.flight[i];
+    if (i != start) os << ',';
+    os << "{\"seq\":";
+    append_u64(os, e.seq);
+    os << ",\"ts_us\":";
+    append_double(os, e.ts_us);
+    os << ",\"kind\":";
+    append_escaped(os, flight_kind_name(static_cast<FlightEvent::Kind>(e.kind)));
+    os << ",\"gate\":";
+    append_u64(os, e.gate_id);
+    os << ",\"op\":";
+    append_escaped(os, e.op < static_cast<std::uint16_t>(kNumOps)
+                           ? op_name(static_cast<OP>(e.op))
+                           : "?");
+    os << ",\"worker\":" << e.worker << ",\"qb\":[" << e.qb0 << ',' << e.qb1
+       << "]}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+} // namespace svsim::obs

@@ -3,6 +3,7 @@
 #include "common/bits.hpp"
 #include "common/logging.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <sstream>
@@ -22,6 +23,10 @@ std::string TrafficStats::summary() const {
 // ---------------------------------------------------------------------------
 // Ctx
 // ---------------------------------------------------------------------------
+
+Ctx::Ctx(Runtime* rt, int pe)
+    : rt_(rt), pe_(pe),
+      dest_bytes_(static_cast<std::size_t>(rt->n_pes_), 0) {}
 
 int Ctx::n_pes() const { return rt_->n_pes_; }
 
@@ -142,6 +147,8 @@ Runtime::Runtime(int n_pes, std::size_t heap_bytes)
 void Runtime::run(const std::function<void(Ctx&)>& pe_main) {
   heap_brk_ = 0;
   last_traffic_.assign(static_cast<std::size_t>(n_pes_), TrafficStats{});
+  last_matrix_.assign(
+      static_cast<std::size_t>(n_pes_) * static_cast<std::size_t>(n_pes_), 0);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n_pes_ - 1));
@@ -161,6 +168,10 @@ void Runtime::run(const std::function<void(Ctx&)>& pe_main) {
       // in tests, where all PEs fail the same check together.
     }
     last_traffic_[static_cast<std::size_t>(pe)] = ctx.traffic();
+    const std::vector<std::uint64_t>& row = ctx.dest_bytes();
+    std::copy(row.begin(), row.end(),
+              last_matrix_.begin() +
+                  static_cast<std::ptrdiff_t>(pe) * n_pes_);
   };
 
   for (int pe = 1; pe < n_pes_; ++pe) {

@@ -161,7 +161,15 @@ public:
   // --- Introspection ----------------------------------------------------
 
   const TrafficStats& traffic() const { return stats_; }
-  void reset_traffic() { stats_ = TrafficStats{}; }
+  void reset_traffic() {
+    stats_ = TrafficStats{};
+    dest_bytes_.assign(dest_bytes_.size(), 0);
+  }
+
+  /// Bytes this PE moved per destination PE (gets + puts; index = target
+  /// PE). Row `pe()` of the job-wide traffic matrix; its sum equals
+  /// traffic().bytes_got + bytes_put by construction.
+  const std::vector<std::uint64_t>& dest_bytes() const { return dest_bytes_; }
 
   /// Translate a local symmetric address to the target PE's copy.
   /// Exposed for the peer-access tier (scale-up) which shares a pointer
@@ -174,7 +182,7 @@ public:
 
 private:
   friend class Runtime;
-  Ctx(Runtime* rt, int pe) : rt_(rt), pe_(pe) {}
+  Ctx(Runtime* rt, int pe); // sizes dest_bytes_ to n_pes (defined in .cpp)
 
   void* malloc_sym_bytes(std::size_t bytes, std::size_t align);
   char* translate_bytes(const char* sym, int target_pe) const;
@@ -186,6 +194,7 @@ private:
       ++stats_.remote_gets;
     }
     stats_.bytes_got += bytes;
+    dest_bytes_[static_cast<std::size_t>(target_pe)] += bytes;
   }
   void count_put(int target_pe, std::size_t bytes) {
     if (target_pe == pe_) {
@@ -194,12 +203,14 @@ private:
       ++stats_.remote_puts;
     }
     stats_.bytes_put += bytes;
+    dest_bytes_[static_cast<std::size_t>(target_pe)] += bytes;
   }
   void count_atomic(int) { ++stats_.atomics; }
 
   Runtime* rt_;
   int pe_;
   TrafficStats stats_;
+  std::vector<std::uint64_t> dest_bytes_; // bytes issued per target PE
 };
 
 /// The SHMEM "job": owns the symmetric heap partitions and the PE team.
@@ -234,6 +245,13 @@ public:
     return last_traffic_;
   }
 
+  /// Flat n_pes×n_pes byte matrix from the last run(), row-major
+  /// [src * n_pes + dst]: bytes moved by one-sided ops issued by `src`
+  /// targeting `dst`. Row sums equal the per-PE byte totals.
+  const std::vector<std::uint64_t>& traffic_matrix() const {
+    return last_matrix_;
+  }
+
 private:
   friend class Ctx;
 
@@ -252,6 +270,7 @@ private:
   std::vector<ValType> gather_table_;
 
   std::vector<TrafficStats> last_traffic_;
+  std::vector<std::uint64_t> last_matrix_;
 };
 
 } // namespace svsim::shmem

@@ -1,0 +1,56 @@
+# health-smoke: end-to-end check of the numerical-health tier.
+#
+# Runs qasm_runner with SVSIM_HEALTH=1 (checkpoint after every gate) on the
+# GHZ example, asks for the machine-readable run report, and validates it
+# with trace_check --report (pure in-repo validator — no python/jq
+# dependency). A healthy GHZ run must exit 0: the monitor is active but
+# must not trip. Driven from tests/CMakeLists.txt via:
+#   cmake -DRUNNER=... -DTRACE_CHECK=... -DQASM=... -DWORK_DIR=...
+#         -P health_smoke.cmake
+
+foreach(var RUNNER TRACE_CHECK QASM WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "health_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(REPORT "${WORK_DIR}/health_smoke_report.json")
+file(REMOVE "${REPORT}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env SVSIM_HEALTH=1
+          "${RUNNER}" "${QASM}" --backend shmem --workers 4
+          --report --report-json "${REPORT}" --shots 64
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR
+          "health_smoke: qasm_runner under SVSIM_HEALTH=1 failed or tripped "
+          "(rc=${run_rc})\nstdout:\n${run_out}\nstderr:\n${run_err}")
+endif()
+
+if(NOT EXISTS "${REPORT}")
+  message(FATAL_ERROR "health_smoke: no report written at ${REPORT}\n"
+          "stdout:\n${run_out}")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" --report "${REPORT}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+          "health_smoke: report validation failed (rc=${check_rc})\n"
+          "${check_out}${check_err}")
+endif()
+
+# The shmem backend must also have produced a traffic matrix.
+file(READ "${REPORT}" report_text)
+if(NOT report_text MATCHES "\"traffic_matrix\":{")
+  message(FATAL_ERROR "health_smoke: report has no traffic_matrix section")
+endif()
+
+message(STATUS "health_smoke: ${check_out}")

@@ -1,42 +1,55 @@
-// trace_check — CI helper for the profile-smoke test.
+// trace_check — CI helper for the profile-smoke / health-smoke tests.
 //
 // Usage: trace_check <trace.json>
+//        trace_check --report <report.json>
 //
-// Exits 0 iff the file exists, parses as JSON (obs::jsonlite — no external
-// dependencies), contains a "traceEvents" key, and holds at least one
-// complete ("ph":"X") event. Prints a one-line verdict either way.
+// Default mode exits 0 iff the file exists, parses as JSON (obs::jsonlite
+// — no external dependencies), contains a "traceEvents" key, and holds at
+// least one complete ("ph":"X") event.
+//
+// --report mode validates a qasm_runner --report-json document instead:
+// valid JSON, the "svsim-report-v1" schema marker, a health section with
+// the monitor enabled and at least one checkpoint evaluated. Prints a
+// one-line verdict either way.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "obs/jsonlite.hpp"
 
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
-    return 1;
-  }
-  std::ifstream in(argv[1], std::ios::binary);
+namespace {
+
+bool slurp(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
-    return 1;
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path);
+    return false;
   }
   std::ostringstream os;
   os << in.rdbuf();
-  const std::string text = os.str();
-  if (text.empty()) {
-    std::fprintf(stderr, "trace_check: %s is empty\n", argv[1]);
-    return 1;
+  *out = os.str();
+  if (out->empty()) {
+    std::fprintf(stderr, "trace_check: %s is empty\n", path);
+    return false;
   }
   std::size_t err = 0;
-  if (!svsim::obs::jsonlite::valid(text, &err)) {
-    std::fprintf(stderr, "trace_check: %s is not valid JSON (error at byte %zu)\n",
-                 argv[1], err);
-    return 1;
+  if (!svsim::obs::jsonlite::valid(*out, &err)) {
+    std::fprintf(stderr,
+                 "trace_check: %s is not valid JSON (error at byte %zu)\n",
+                 path, err);
+    return false;
   }
+  return true;
+}
+
+int check_trace(const char* path) {
+  std::string text;
+  if (!slurp(path, &text)) return 1;
   if (text.find("\"traceEvents\"") == std::string::npos) {
-    std::fprintf(stderr, "trace_check: %s has no traceEvents array\n", argv[1]);
+    std::fprintf(stderr, "trace_check: %s has no traceEvents array\n", path);
     return 1;
   }
   std::size_t x_events = 0;
@@ -45,9 +58,54 @@ int main(int argc, char** argv) {
     ++x_events;
   }
   if (x_events == 0) {
-    std::fprintf(stderr, "trace_check: %s has no complete events\n", argv[1]);
+    std::fprintf(stderr, "trace_check: %s has no complete events\n", path);
     return 1;
   }
-  std::printf("trace_check: %s OK (%zu complete events)\n", argv[1], x_events);
+  std::printf("trace_check: %s OK (%zu complete events)\n", path, x_events);
   return 0;
+}
+
+int check_report(const char* path) {
+  std::string text;
+  if (!slurp(path, &text)) return 1;
+  if (text.find("\"schema\":\"svsim-report-v1\"") == std::string::npos) {
+    std::fprintf(stderr, "trace_check: %s lacks the svsim-report-v1 schema\n",
+                 path);
+    return 1;
+  }
+  const std::size_t health = text.find("\"health\":{");
+  if (health == std::string::npos) {
+    std::fprintf(stderr, "trace_check: %s has no health section\n", path);
+    return 1;
+  }
+  if (text.find("\"enabled\":true", health) == std::string::npos) {
+    std::fprintf(stderr, "trace_check: %s health monitor not enabled\n", path);
+    return 1;
+  }
+  const std::size_t checks = text.find("\"checks\":", health);
+  const long long n_checks =
+      checks != std::string::npos
+          ? std::atoll(text.c_str() + checks + std::strlen("\"checks\":"))
+          : 0;
+  if (n_checks <= 0) {
+    std::fprintf(stderr, "trace_check: %s recorded no health checkpoints\n",
+                 path);
+    return 1;
+  }
+  std::printf("trace_check: %s OK (%lld health checkpoints)\n", path,
+              n_checks);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--report") == 0) {
+    return check_report(argv[2]);
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s [--report] <file.json>\n", argv[0]);
+    return 1;
+  }
+  return check_trace(argv[1]);
 }
