@@ -173,6 +173,23 @@ private:
   std::vector<Row> rows_;
 };
 
+/// Gate-window scheduler series for a bench table: pair with
+/// sched_values() so every bench reports the blocked-execution outcome
+/// the same way. Appends columns only — a table's existing columns stay
+/// exactly as they were.
+inline void add_sched_columns(Table& t) {
+  t.add_column("windows");
+  t.add_column("win_gates");
+  t.add_column("passes_sv");
+}
+
+/// Values matching add_sched_columns, from a run's report.
+inline std::vector<double> sched_values(const obs::RunReport& r) {
+  return {static_cast<double>(r.sched.windows),
+          static_cast<double>(r.sched.windowed_gates),
+          static_cast<double>(r.sched.passes_saved)};
+}
+
 inline void shape_check(bool ok, const std::string& claim) {
   std::printf("[shape %s] %s\n", ok ? "OK  " : "MISS", claim.c_str());
 }

@@ -45,6 +45,15 @@ struct SimConfig {
   /// Push per-gate events into the crash flight recorder (a few plain
   /// stores per gate). SVSIM_FLIGHT=0 disables it globally.
   bool flight = true;
+  /// Cache-blocked gate-window execution (ir/schedule + kernels/blocked):
+  /// group consecutive gates whose non-diagonal action lies below block
+  /// exponent b and apply each whole window to one 2^b-amplitude
+  /// cache-resident block at a time — one memory sweep per window instead
+  /// of per gate. -1 = auto (on, b sized to L2), 0 = off (the classic
+  /// per-gate loop, bit-for-bit), >= 2 = explicit b. SVSIM_SCHED=<v>
+  /// overrides when this field is left at auto (0 off, 1 auto, n >= 2
+  /// explicit).
+  int sched_window = -1;
 };
 
 } // namespace svsim

@@ -127,6 +127,53 @@ std::vector<DeviceGate<Space>> upload_circuit(const Circuit& circuit,
   return out;
 }
 
+namespace detail {
+
+/// Push one per-gate event onto this worker's flight ring (no-op ring ==
+/// nullptr).
+inline void flight_gate_event(obs::FlightRing* ring, std::uint64_t gate_id,
+                              const Gate& g) {
+  if (ring == nullptr) return;
+  obs::FlightEvent e;
+  e.ts_us = obs::trace_now_us();
+  e.gate_id = gate_id;
+  e.kind = obs::FlightEvent::kGate;
+  e.op = static_cast<std::uint16_t>(g.op);
+  e.qb0 = static_cast<std::int32_t>(g.qb0);
+  e.qb1 = static_cast<std::int32_t>(g.qb1);
+  ring->push(e);
+}
+
+/// One collective health checkpoint: every worker SIMD-scans its local
+/// partition, the partials combine through the Space's own reduce_sum (so
+/// workers stay lockstep), worker 0 records the result, and the returned
+/// abort verdict is a pure function of the reduced values — identical on
+/// every worker, so gate loops break together.
+template <class Space>
+inline bool health_checkpoint(const Space& sp, obs::HealthMonitor* health,
+                              obs::FlightRing* ring, std::uint64_t gate_id) {
+  double norm2 = 0;
+  std::uint64_t bad = 0;
+  obs::scan_amplitudes(sp.local_real(), sp.local_imag(), sp.local_count(),
+                       &norm2, &bad);
+  const double g_norm2 =
+      static_cast<double>(sp.reduce_sum(static_cast<ValType>(norm2)));
+  // Counts are far below 2^53, so the ValType reduction is exact.
+  const std::uint64_t g_bad = static_cast<std::uint64_t>(
+      sp.reduce_sum(static_cast<ValType>(bad)) + 0.5);
+  if (sp.worker() == 0) health->observe(gate_id, g_norm2, g_bad);
+  if (ring != nullptr) {
+    obs::FlightEvent e;
+    e.ts_us = obs::trace_now_us();
+    e.gate_id = gate_id;
+    e.kind = obs::FlightEvent::kCheckpoint;
+    ring->push(e);
+  }
+  return health->should_abort(g_norm2, g_bad);
+}
+
+} // namespace detail
+
 /// The single simulation kernel (Listing 1 lines 21-26 / Listing 5): every
 /// worker executes the full gate loop over its contiguous slice of work
 /// items, with a global sync after each gate (grid.sync() /
@@ -160,16 +207,7 @@ void simulation_kernel(const std::vector<DeviceGate<Space>>& circuit,
   std::uint64_t gate_id = 0;
   for (const DeviceGate<Space>& dg : circuit) {
     ++gate_id;
-    if (ring != nullptr) {
-      obs::FlightEvent e;
-      e.ts_us = obs::trace_now_us();
-      e.gate_id = gate_id;
-      e.kind = obs::FlightEvent::kGate;
-      e.op = static_cast<std::uint16_t>(dg.g.op);
-      e.qb0 = static_cast<std::int32_t>(dg.g.qb0);
-      e.qb1 = static_cast<std::int32_t>(dg.g.qb1);
-      ring->push(e);
-    }
+    detail::flight_gate_event(ring, gate_id, dg.g);
     {
       obs::Span span(rec, static_cast<int>(me), dg.g.op);
       const IdxType per = (dg.work + nw - 1) / nw;
@@ -179,27 +217,7 @@ void simulation_kernel(const std::vector<DeviceGate<Space>>& circuit,
       sp.sync();
     }
     if (every != 0 && (gate_id % every == 0 || gate_id == n_gates)) {
-      double norm2 = 0;
-      std::uint64_t bad = 0;
-      obs::scan_amplitudes(sp.local_real(), sp.local_imag(), sp.local_count(),
-                           &norm2, &bad);
-      // Collective: the Space's own reduction keeps workers lockstep.
-      const double g_norm2 = static_cast<double>(
-          sp.reduce_sum(static_cast<ValType>(norm2)));
-      // Counts are far below 2^53, so the ValType reduction is exact.
-      const std::uint64_t g_bad = static_cast<std::uint64_t>(
-          sp.reduce_sum(static_cast<ValType>(bad)) + 0.5);
-      if (me == 0) health->observe(gate_id, g_norm2, g_bad);
-      if (ring != nullptr) {
-        obs::FlightEvent e;
-        e.ts_us = obs::trace_now_us();
-        e.gate_id = gate_id;
-        e.kind = obs::FlightEvent::kCheckpoint;
-        ring->push(e);
-      }
-      // Pure function of the reduced values: every worker reaches the
-      // same verdict, so the loops break together.
-      if (health->should_abort(g_norm2, g_bad)) break;
+      if (detail::health_checkpoint(sp, health, ring, gate_id)) break;
     }
   }
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "core/kernels/blocked.hpp"
 #include "obs/registry.hpp"
 #include "shmem/barrier.hpp"
 
@@ -78,6 +79,13 @@ void PeerSim::execute(const Circuit& circuit) {
   obs::FlightRecorder* flight = flight_on(cfg_);
   if (flight != nullptr) flight->begin_run(name(), n_, n_dev_);
 
+  // Built once on the calling thread; shared read-only by every device
+  // thread. Blocks must not straddle a partition, so b <= lg_part.
+  const auto sched = kernels::prepare_sched<PeerSpace>(
+      circuit, device_circuit, cfg_, lg_part_, rec != nullptr,
+      health ? health->every_n() : 0);
+  if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
+
   auto device_main = [&](int d) {
     set_log_pe(d);
     PeerSpace sp;
@@ -93,7 +101,12 @@ void PeerSim::execute(const Circuit& circuit) {
     sp.scratch = scratch_.data();
     sp.traffic = cfg_.count_traffic ? &traffic_[static_cast<std::size_t>(d)]
                                     : nullptr;
-    simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
+    if (sched.active) {
+      simulation_kernel_sched(device_circuit, sched, sp, rec.get(),
+                              health.get(), flight);
+    } else {
+      simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
+    }
   };
 
   {

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/timer.hpp"
+#include "core/kernels/blocked.hpp"
 #include "obs/registry.hpp"
 
 namespace svsim {
@@ -80,6 +81,13 @@ void ShmemSim::execute(const Circuit& circuit) {
   obs::FlightRecorder* flight = flight_on(cfg_);
   if (flight != nullptr) flight->begin_run(name(), n_, n_pes_);
 
+  // Built once outside the PE team; shared read-only. b <= lg_part keeps
+  // every block inside one PE's symmetric partition.
+  const auto sched = kernels::prepare_sched<ShmemSpace>(
+      circuit, device_circuit, cfg_, lg_part_, rec != nullptr,
+      health ? health->every_n() : 0);
+  if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
+
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
     runtime_.run([&](shmem::Ctx& ctx) {
@@ -91,7 +99,12 @@ void ShmemSim::execute(const Circuit& circuit) {
       sp.dim = dim_;
       sp.mctx = &mctx_;
       sp.rng = &rngs_[static_cast<std::size_t>(ctx.pe())];
-      simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
+      if (sched.active) {
+        simulation_kernel_sched(device_circuit, sched, sp, rec.get(),
+                                health.get(), flight);
+      } else {
+        simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
+      }
     });
   }
   last_traffic_ = runtime_.aggregate_traffic();

@@ -1,6 +1,7 @@
 #include "core/single_sim.hpp"
 
 #include "common/timer.hpp"
+#include "core/kernels/blocked.hpp"
 #include "obs/registry.hpp"
 
 namespace svsim {
@@ -48,12 +49,26 @@ void SingleSim::run(const Circuit& circuit) {
   const std::unique_ptr<obs::HealthMonitor> health = make_health(cfg_);
   obs::FlightRecorder* flight = flight_on(cfg_);
   if (flight != nullptr) flight->begin_run(name(), n_, 1);
+  const bool prof = profiling_on(cfg_);
+  // One worker owns the whole register: blocks may span all n bits.
+  const auto sched = kernels::prepare_sched<LocalSpace>(
+      circuit, device_circuit, cfg_, n_, prof,
+      health ? health->every_n() : 0);
+  if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
-    if (profiling_on(cfg_)) {
+    if (prof) {
       obs::GateRecorder rec(1, obs::Trace::global().enabled());
-      simulation_kernel(device_circuit, sp, &rec, health.get(), flight);
+      if (sched.active) {
+        simulation_kernel_sched(device_circuit, sched, sp, &rec, health.get(),
+                                flight);
+      } else {
+        simulation_kernel(device_circuit, sp, &rec, health.get(), flight);
+      }
       rec.finish(rep, name());
+    } else if (sched.active) {
+      simulation_kernel_sched(device_circuit, sched, sp, nullptr, health.get(),
+                              flight);
     } else {
       simulation_kernel(device_circuit, sp, nullptr, health.get(), flight);
     }

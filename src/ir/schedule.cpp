@@ -1,0 +1,141 @@
+#include "ir/schedule.hpp"
+
+#include <cstdlib>
+
+#include "common/bits.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace svsim {
+
+bool is_diagonal_gate(OP op) {
+  switch (op) {
+    case OP::ID:
+    case OP::Z:
+    case OP::S:
+    case OP::SDG:
+    case OP::T:
+    case OP::TDG:
+    case OP::RZ:
+    case OP::U1:
+    case OP::CZ:
+    case OP::CU1:
+    case OP::CRZ:
+    case OP::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Operand qubits of a kernel gate (<= 2 for everything the dispatch
+/// table executes).
+int operand_qubits(const Gate& g, IdxType out[2]) {
+  int n = 0;
+  if (g.qb0 >= 0) out[n++] = g.qb0;
+  if (g.qb1 >= 0) out[n++] = g.qb1;
+  return n;
+}
+
+/// May `g` join a window blocked on the low `b` bits?
+bool joins_window(const Gate& g, IdxType b) {
+  if (!is_kernel_op(g.op) || !is_unitary_op(g.op)) return false;
+  if (g.op == OP::BARRIER) return false;
+  if (is_diagonal_gate(g.op)) return true;
+  IdxType qs[2];
+  const int nq = operand_qubits(g, qs);
+  for (int i = 0; i < nq; ++i) {
+    if (qs[i] >= b) return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Schedule build_schedule(const Circuit& circuit, IdxType block_exp,
+                        IdxType checkpoint_every) {
+  SVSIM_CHECK(block_exp >= 2, "block exponent must be >= 2");
+  Schedule sched;
+  sched.stats.block_exp = block_exp;
+  const std::vector<Gate>& gates = circuit.gates();
+
+  Window cur; // candidate window being grown (n_gates == 0: empty)
+  auto flush = [&](bool qualifying) {
+    if (cur.n_gates == 0) return;
+    // A lone qualifying gate gains nothing from blocking; run it through
+    // the per-gate loop like any other.
+    cur.blocked = qualifying && cur.n_gates >= 2;
+    if (cur.blocked) {
+      ++sched.stats.windows;
+      sched.stats.windowed_gates += cur.n_gates;
+      sched.stats.passes_saved += cur.n_gates - 1;
+    }
+    sched.windows.push_back(cur);
+    cur = Window{};
+  };
+
+  for (IdxType gi = 0; gi < static_cast<IdxType>(gates.size()); ++gi) {
+    const Gate& g = gates[static_cast<std::size_t>(gi)];
+    if (joins_window(g, block_exp)) {
+      if (cur.n_gates == 0) cur.first_gate = gi;
+      ++cur.n_gates;
+      IdxType qs[2];
+      const int nq = operand_qubits(g, qs);
+      for (int i = 0; i < nq; ++i) {
+        if (qs[i] < block_exp) {
+          cur.qubit_mask |= pow2(qs[i]);
+        } else {
+          cur.has_high_diagonal = true;
+        }
+      }
+    } else {
+      flush(true);
+      // The barrier gate is its own per-gate window.
+      cur.first_gate = gi;
+      cur.n_gates = 1;
+      flush(false);
+    }
+    // Health checkpoints are window barriers: the executor checks once per
+    // window, so windows must end exactly where the per-gate loop would
+    // have checkpointed (gate ids are 1-based).
+    if (checkpoint_every > 0 && (gi + 1) % checkpoint_every == 0) flush(true);
+  }
+  flush(true);
+  return sched;
+}
+
+IdxType default_block_exponent() {
+  long l2 = 0;
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+  if (l2 <= 0) return 14;
+  // 2^b amplitudes cost 16 bytes each (8-byte real + imag); target half
+  // the L2 so the window's working set survives the gate loop.
+  IdxType b = 8;
+  while (b < 20 && (pow2(b + 1) * 16) <= static_cast<IdxType>(l2) / 2) ++b;
+  return b;
+}
+
+int env_sched() {
+  static const int value = [] {
+    const char* s = std::getenv("SVSIM_SCHED");
+    if (s == nullptr || *s == '\0') return -1;
+    return std::atoi(s);
+  }();
+  return value;
+}
+
+IdxType resolved_block_exponent(const SimConfig& cfg) {
+  int v = cfg.sched_window;
+  if (v < 0) v = env_sched();              // config unset: env decides
+  if (v < 0 || v == 1) v = static_cast<int>(default_block_exponent());
+  if (v == 0) return 0;
+  return v < 2 ? 2 : static_cast<IdxType>(v);
+}
+
+} // namespace svsim

@@ -232,6 +232,20 @@ std::string RunReport::summary() const {
     os << buf;
   }
 
+  if (sched.enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "  sched: b=%d, %llu windows covering %llu gates, "
+                  "%llu passes saved (~%llu MB traffic avoided)%s\n",
+                  sched.block_exp,
+                  static_cast<unsigned long long>(sched.windows),
+                  static_cast<unsigned long long>(sched.windowed_gates),
+                  static_cast<unsigned long long>(sched.passes_saved),
+                  static_cast<unsigned long long>(
+                      sched.traffic_avoided_bytes >> 20),
+                  sched.active ? "" : " (no blocked windows)");
+    os << buf;
+  }
+
   if (!matrix.empty()) {
     const TrafficMatrix::Imbalance im = matrix.imbalance();
     std::snprintf(buf, sizeof(buf),

@@ -69,6 +69,20 @@ struct HealthStats {
   bool tripped() const { return nan_checks != 0 || warns != 0 || aborted; }
 };
 
+/// Outcome of the cache-blocked gate-window scheduler (ir/schedule +
+/// kernels/blocked). Defaults when scheduling was off for the run.
+struct SchedulerStats {
+  bool enabled = false; // scheduling resolved on for the run
+  bool active = false;  // at least one blocked window actually executed
+  int block_exp = 0;    // 2^b amplitudes per cache block
+  std::uint64_t windows = 0;        // blocked windows formed
+  std::uint64_t windowed_gates = 0; // gates inside blocked windows
+  std::uint64_t passes_saved = 0;   // full-state sweeps avoided
+  /// passes_saved × 16 bytes × dim: memory traffic a per-gate loop would
+  /// have issued that the blocked loop kept cache-resident.
+  std::uint64_t traffic_avoided_bytes = 0;
+};
+
 /// Per-PE×PE communication volume from the last run(), row-major
 /// [src * n + dst] in bytes moved by one-sided ops issued by `src`
 /// targeting `dst` (diagonal = local traffic). Empty (n == 0) for
@@ -114,6 +128,7 @@ struct RunReport {
   FusionStats fusion; // zeros unless the circuit went through run_fused()
   CommStats comm;
   HealthStats health;   // numerical-health tier (defaults when disabled)
+  SchedulerStats sched; // gate-window scheduler (defaults when off)
   TrafficMatrix matrix; // per-PE×PE traffic (distributed backends only)
   /// Flight-recorder events drained at the end of a successful run
   /// (empty when the recorder is disabled).

@@ -125,6 +125,19 @@ std::string to_json(const RunReport& report) {
   os << ",\"aborted\":" << (h.aborted ? "true" : "false")
      << ",\"tripped\":" << (h.tripped() ? "true" : "false") << '}';
 
+  const SchedulerStats& sc = report.sched;
+  os << ",\"sched\":{\"enabled\":" << (sc.enabled ? "true" : "false")
+     << ",\"active\":" << (sc.active ? "true" : "false")
+     << ",\"block_exp\":" << sc.block_exp << ",\"windows\":";
+  append_u64(os, sc.windows);
+  os << ",\"windowed_gates\":";
+  append_u64(os, sc.windowed_gates);
+  os << ",\"passes_saved\":";
+  append_u64(os, sc.passes_saved);
+  os << ",\"traffic_avoided_bytes\":";
+  append_u64(os, sc.traffic_avoided_bytes);
+  os << '}';
+
   if (report.matrix.empty()) {
     os << ",\"traffic_matrix\":null";
   } else {
