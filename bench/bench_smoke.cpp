@@ -1,0 +1,80 @@
+// Regression-sentinel workload: fast real-execution timings on small
+// circuits, emitted through the standard SVSIM_BENCH_JSON table path.
+//
+// CI runs this binary once to commit a baseline and k more times per PR;
+// bench/regress_check.py diffs the median of the fresh runs against the
+// baseline with per-table relative tolerances and fails the job on a
+// regression — so the per-gate loop, the blocked scheduler and the
+// dispatch path can't silently lose their wins. Total runtime is kept to
+// a couple of seconds: large enough to time above scheduler noise, small
+// enough to run k+1 times in a smoke job.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/qasmbench.hpp"
+#include "common/timer.hpp"
+#include "core/single_sim.hpp"
+
+namespace {
+
+using namespace svsim;
+
+/// Best-of-`reps` wall milliseconds for `circuit` on a fresh SingleSim
+/// with the given sched_window setting (0 = classic per-gate loop).
+double time_circuit(const Circuit& circuit, int sched_window, int reps,
+                    obs::RunReport* out = nullptr) {
+  double best = 1e300;
+  SimConfig cfg;
+  cfg.sched_window = sched_window;
+  for (int rep = 0; rep < reps; ++rep) {
+    SingleSim sim(circuit.n_qubits(), cfg);
+    sim.run(circuit);
+    best = std::min(best, sim.last_report().wall_seconds * 1e3);
+    if (out != nullptr) *out = sim.last_report();
+  }
+  return best;
+}
+
+} // namespace
+
+int main() {
+  using svsim::bench::add_sched_columns;
+  using svsim::bench::print_header;
+  using svsim::bench::sched_values;
+  namespace circuits = svsim::circuits;
+
+  print_header("Regression smoke — small-circuit timings",
+               "best-of-3 ms per circuit, per-gate loop vs blocked "
+               "scheduler; the regression sentinel's workload");
+
+  constexpr IdxType kN = 16;
+  struct Bench {
+    std::string name;
+    Circuit circuit;
+  };
+  const Bench benches[] = {
+      {"ghz_n16", circuits::ghz_state(kN)},
+      {"qft_n16", circuits::qft(kN)},
+      {"bv_n16", circuits::bernstein_vazirani(kN)},
+  };
+
+  svsim::bench::Table t("circuit");
+  t.add_column("per_gate_ms");
+  t.add_column("blocked_ms");
+  t.add_column("speedup");
+  add_sched_columns(t);
+  for (const Bench& b : benches) {
+    obs::RunReport rep;
+    const double per_gate = time_circuit(b.circuit, 0, 3);
+    const double blocked = time_circuit(b.circuit, -1, 3, &rep);
+    std::vector<double> row = {per_gate, blocked,
+                               blocked > 0 ? per_gate / blocked : 0.0};
+    const std::vector<double> sv = sched_values(rep);
+    row.insert(row.end(), sv.begin(), sv.end());
+    t.add_row(b.name, row);
+  }
+  t.print("%12.3f");
+  return 0;
+}

@@ -6,15 +6,22 @@
 // appended to a machine-readable JSON document at <path> (rewritten on
 // each table so a valid file exists at all times):
 //
-//   { "tables": [ { "title": ..., "corner": ..., "columns": [...],
+//   { "schema": "svsim-bench-v2", "generated_unix": ..., "cpu": ...,
+//     "compiler": ..., "flags": ...,
+//     "tables": [ { "title": ..., "corner": ..., "columns": [...],
 //                   "rows": [ { "label": ..., "values": [...] } ] } ] }
 //
 // so BENCH_*.json trajectories can be captured without parsing stdout.
+// The provenance header identifies the machine and build that produced
+// the numbers: bench/regress_check.py refuses to silently compare
+// baselines stamped by different CPUs.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -47,6 +54,31 @@ struct JsonSink {
   }
 };
 
+/// "model name" line of /proc/cpuinfo, or "unknown" where there is none.
+inline const std::string& cpu_model() {
+  static const std::string model = [] {
+    std::string name = "unknown";
+    if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+      char line[256];
+      while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::strncmp(line, "model name", 10) != 0) continue;
+        if (const char* colon = std::strchr(line, ':')) {
+          name = colon + 1;
+          while (!name.empty() && name.front() == ' ') name.erase(0, 1);
+          while (!name.empty() &&
+                 (name.back() == '\n' || name.back() == ' ')) {
+            name.pop_back();
+          }
+        }
+        break;
+      }
+      std::fclose(f);
+    }
+    return name;
+  }();
+  return model;
+}
+
 inline void json_escape_to(std::string& out, const std::string& s) {
   for (const char c : s) {
     switch (c) {
@@ -70,7 +102,30 @@ inline void json_escape_to(std::string& out, const std::string& s) {
 inline void json_write_all() {
   JsonSink& sink = JsonSink::instance();
   if (sink.path.empty()) return;
-  std::string out = "{\"tables\":[";
+  // Provenance header first, so any consumer can check who produced the
+  // numbers before reading a single row.
+  std::string out = "{\"schema\":\"svsim-bench-v2\",\"generated_unix\":";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(std::time(nullptr)));
+    out += buf;
+  }
+  out += ",\"cpu\":\"";
+  json_escape_to(out, cpu_model());
+  out += "\",\"compiler\":\"";
+#if defined(__clang__)
+  json_escape_to(out, std::string("clang ") + __VERSION__);
+#elif defined(__GNUC__)
+  json_escape_to(out, std::string("gcc ") + __VERSION__);
+#else
+  json_escape_to(out, "unknown");
+#endif
+  out += "\",\"flags\":\"";
+#ifdef SVSIM_BENCH_FLAGS
+  json_escape_to(out, SVSIM_BENCH_FLAGS);
+#endif
+  out += "\",\"tables\":[";
   bool first_table = true;
   for (const JsonTable& t : sink.tables) {
     if (!first_table) out += ',';

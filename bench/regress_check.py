@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""Benchmark regression sentinel for SVSIM_BENCH_JSON documents.
+
+Diffs fresh bench runs against a committed baseline with noise-aware
+thresholds and exits non-zero on a regression, so CI can gate on the
+numbers the benches already emit (nothing ever read BENCH_*.json back
+before this tool).
+
+Usage:
+  regress_check.py --baseline BENCH_smoke.json fresh1.json [fresh2.json ...]
+  regress_check.py --self-test
+  regress_check.py --make-fixture out.json --baseline base.json --factor 2.0
+
+Method:
+  * tables are matched by (title, corner), rows by label, columns by name;
+    a baseline table/row/column missing from the fresh runs is an error
+    (losing a measurement is itself a regression), while *new* fresh
+    tables are ignored (additive benches must not break old baselines);
+  * the fresh value per cell is the median across the given fresh files
+    (run the bench k times in CI; the median rides out scheduler noise);
+  * column direction comes from the name: "speedup" columns must not
+    drop, count-like columns (windows/win_gates/passes_sv/bytes_*) are
+    compared exactly but only warn, everything else is treated as a
+    timing where lower is better;
+  * the relative tolerance is --tolerance (default 0.30), overridable per
+    table title with --table-tolerance 'TITLE=0.5'; timing cells below
+    --min-ms (default 0.05) are skipped entirely — sub-tick timings are
+    pure noise;
+  * provenance ("svsim-bench-v2" headers) is enforced: a CPU-model
+    mismatch between baseline and fresh runs is an error unless
+    --allow-cross-machine is given; v1 files without the header compare
+    with a warning.
+"""
+
+import argparse
+import copy
+import json
+import statistics
+import sys
+
+COUNT_COLUMNS = {"windows", "win_gates", "passes_sv", "bytes_out", "bytes_in"}
+
+
+def direction(column):
+    """'lower' | 'higher' | 'count' for a column name."""
+    name = column.lower()
+    if "speedup" in name:
+        return "higher"
+    if name in COUNT_COLUMNS:
+        return "count"
+    return "lower"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"regress_check: cannot read {path}: {e}")
+
+
+def table_key(table):
+    return (table.get("title", ""), table.get("corner", ""))
+
+
+def index_tables(doc):
+    return {table_key(t): t for t in doc.get("tables", [])}
+
+
+def index_rows(table):
+    return {r.get("label", ""): r.get("values", []) for r in table.get("rows", [])}
+
+
+def check_meta(baseline, fresh_docs, allow_cross_machine, warnings):
+    base_cpu = baseline.get("cpu")
+    if baseline.get("schema") is None or base_cpu is None:
+        warnings.append("baseline has no provenance header (pre-v2 file); "
+                        "cross-machine comparison cannot be detected")
+        return []
+    errors = []
+    for path, doc in fresh_docs:
+        cpu = doc.get("cpu")
+        if cpu is None:
+            warnings.append(f"{path}: no provenance header (pre-v2 file)")
+            continue
+        if cpu != base_cpu:
+            msg = (f"{path}: CPU model {cpu!r} != baseline {base_cpu!r}; "
+                   f"numbers from different machines are not comparable")
+            if allow_cross_machine:
+                warnings.append(msg + " (--allow-cross-machine given)")
+            else:
+                errors.append(msg)
+        if doc.get("flags") and baseline.get("flags") and \
+                doc["flags"] != baseline["flags"]:
+            warnings.append(f"{path}: compiler flags differ from baseline "
+                            f"({doc['flags']!r} vs {baseline['flags']!r})")
+    return errors
+
+
+def compare(baseline, fresh_docs, tolerance, table_tolerances, min_ms,
+            allow_cross_machine):
+    """Returns (regressions, errors, warnings) comparing the baseline doc
+    against the per-cell median of the fresh docs."""
+    regressions = []
+    warnings = []
+    errors = check_meta(baseline, fresh_docs, allow_cross_machine, warnings)
+
+    fresh_indexes = [(path, index_tables(doc)) for path, doc in fresh_docs]
+    for key, base_table in index_tables(baseline).items():
+        title, corner = key
+        tol = table_tolerances.get(title, tolerance)
+        columns = base_table.get("columns", [])
+        base_rows = index_rows(base_table)
+
+        fresh_tables = []
+        for path, idx in fresh_indexes:
+            if key not in idx:
+                errors.append(f"{path}: table ({title!r}, {corner!r}) missing")
+            else:
+                fresh_tables.append((path, index_rows(idx[key])))
+        if not fresh_tables:
+            continue
+
+        for label, base_values in base_rows.items():
+            samples_per_cell = [[] for _ in base_values]
+            for path, rows in fresh_tables:
+                if label not in rows:
+                    errors.append(f"{path}: row {label!r} missing from table "
+                                  f"({title!r}, {corner!r})")
+                    continue
+                values = rows[label]
+                if len(values) != len(base_values):
+                    errors.append(f"{path}: row {label!r} has {len(values)} "
+                                  f"values, baseline has {len(base_values)}")
+                    continue
+                for i, v in enumerate(values):
+                    if v is not None:
+                        samples_per_cell[i].append(v)
+
+            for i, base in enumerate(base_values):
+                column = columns[i] if i < len(columns) else f"col{i}"
+                samples = samples_per_cell[i]
+                if base is None or not samples:
+                    continue
+                fresh = statistics.median(samples)
+                where = f"{title} / {corner} / {label} / {column}"
+                d = direction(column)
+                if d == "count":
+                    if fresh != base:
+                        warnings.append(f"{where}: count changed "
+                                        f"{base:g} -> {fresh:g}")
+                    continue
+                if d == "lower":
+                    if base < min_ms and fresh < min_ms:
+                        continue  # sub-tick timing: pure noise
+                    if fresh > base * (1.0 + tol):
+                        regressions.append(
+                            f"{where}: {base:.4g} -> {fresh:.4g} "
+                            f"(+{(fresh / base - 1) * 100:.1f}%, "
+                            f"tolerance {tol * 100:.0f}%)")
+                else:  # higher is better
+                    if fresh < base / (1.0 + tol):
+                        regressions.append(
+                            f"{where}: {base:.4g} -> {fresh:.4g} "
+                            f"({(1 - fresh / base) * 100:.1f}% drop, "
+                            f"tolerance {tol * 100:.0f}%)")
+    return regressions, errors, warnings
+
+
+def make_fixture(baseline, factor):
+    """A copy of the baseline with every timing cell slowed by `factor`
+    (speedup columns drop accordingly) — the CI negative control."""
+    doc = copy.deepcopy(baseline)
+    for table in doc.get("tables", []):
+        columns = table.get("columns", [])
+        for row in table.get("rows", []):
+            values = row.get("values", [])
+            for i, v in enumerate(values):
+                if v is None:
+                    continue
+                column = columns[i] if i < len(columns) else f"col{i}"
+                d = direction(column)
+                if d == "lower":
+                    values[i] = v * factor
+                elif d == "higher":
+                    values[i] = v / factor
+    return doc
+
+
+def self_test():
+    """Synthetic check of the sentinel itself: 2% jitter must pass, an
+    injected 2x slowdown must flag."""
+    baseline = {
+        "schema": "svsim-bench-v2",
+        "generated_unix": 0,
+        "cpu": "Test CPU 9000",
+        "compiler": "test 1.0",
+        "flags": "-O2",
+        "tables": [{
+            "title": "Regression smoke",
+            "corner": "circuit",
+            "columns": ["per_gate_ms", "blocked_ms", "speedup",
+                        "windows", "win_gates", "passes_sv"],
+            "rows": [
+                {"label": "qft_n16", "values": [12.0, 4.0, 3.0, 7, 120, 100]},
+                {"label": "ghz_n16", "values": [1.5, 1.4, 1.07, 1, 16, 15]},
+            ],
+        }],
+    }
+
+    # Deterministic +/-2% jitter, k=3 runs.
+    jitters = [0.98, 1.02, 1.01]
+    jittered = []
+    for j in jitters:
+        doc = copy.deepcopy(baseline)
+        for table in doc["tables"]:
+            for row in table["rows"]:
+                row["values"] = [v * j if direction(c) != "count" else v
+                                 for v, c in zip(row["values"],
+                                                 table["columns"])]
+        jittered.append(("jitter.json", doc))
+    regressions, errors, _ = compare(baseline, jittered, 0.30, {}, 0.05,
+                                     allow_cross_machine=False)
+    ok_jitter = not regressions and not errors
+    print(f"self-test: 2% jitter x{len(jitters)} -> "
+          f"{'pass' if ok_jitter else 'FLAGGED (bug)'}")
+
+    slowed = make_fixture(baseline, 2.0)
+    regressions, errors, _ = compare(baseline, [("slow.json", slowed)], 0.30,
+                                     {}, 0.05, allow_cross_machine=False)
+    ok_slow = bool(regressions) and not errors
+    print(f"self-test: injected 2x slowdown -> "
+          f"{'flagged (' + str(len(regressions)) + ' cells)' if regressions else 'MISSED (bug)'}")
+    for r in regressions:
+        print(f"  {r}")
+
+    # Cross-machine refusal.
+    other = copy.deepcopy(baseline)
+    other["cpu"] = "Other CPU 1"
+    _, errors, _ = compare(baseline, [("other.json", other)], 0.30, {}, 0.05,
+                           allow_cross_machine=False)
+    ok_cpu = bool(errors)
+    print(f"self-test: cross-machine baseline -> "
+          f"{'refused' if ok_cpu else 'ACCEPTED (bug)'}")
+
+    return 0 if (ok_jitter and ok_slow and ok_cpu) else 1
+
+
+def parse_table_tolerance(spec):
+    if "=" not in spec:
+        sys.exit(f"regress_check: --table-tolerance needs TITLE=FRACTION, "
+                 f"got {spec!r}")
+    title, _, value = spec.rpartition("=")
+    try:
+        return title, float(value)
+    except ValueError:
+        sys.exit(f"regress_check: bad tolerance in {spec!r}")
+
+
+def main(argv):
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("fresh", nargs="*", help="fresh SVSIM_BENCH_JSON runs "
+                   "(median taken across them)")
+    p.add_argument("--baseline", help="committed baseline JSON")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="relative tolerance for timing cells (default 0.30)")
+    p.add_argument("--table-tolerance", action="append", default=[],
+                   metavar="TITLE=FRACTION",
+                   help="override the tolerance for one table title")
+    p.add_argument("--min-ms", type=float, default=0.05,
+                   help="skip timing cells below this (default 0.05)")
+    p.add_argument("--allow-cross-machine", action="store_true",
+                   help="downgrade CPU-model mismatch to a warning")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the synthetic sentinel check and exit")
+    p.add_argument("--make-fixture", metavar="OUT",
+                   help="write a slowed copy of the baseline to OUT and exit")
+    p.add_argument("--factor", type=float, default=2.0,
+                   help="slowdown factor for --make-fixture (default 2.0)")
+    args = p.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    if not args.baseline:
+        p.error("--baseline is required (or use --self-test)")
+    baseline = load(args.baseline)
+
+    if args.make_fixture:
+        with open(args.make_fixture, "w", encoding="utf-8") as f:
+            json.dump(make_fixture(baseline, args.factor), f, indent=1)
+            f.write("\n")
+        print(f"regress_check: wrote {args.factor}x-slowed fixture to "
+              f"{args.make_fixture}")
+        return 0
+
+    if not args.fresh:
+        p.error("at least one fresh run is required")
+    fresh_docs = [(path, load(path)) for path in args.fresh]
+    tolerances = dict(parse_table_tolerance(s) for s in args.table_tolerance)
+
+    regressions, errors, warnings = compare(
+        baseline, fresh_docs, args.tolerance, tolerances, args.min_ms,
+        args.allow_cross_machine)
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for e in errors:
+        print(f"error: {e}")
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+
+    if errors:
+        return 2
+    if regressions:
+        print(f"regress_check: {len(regressions)} regression(s) vs "
+              f"{args.baseline}")
+        return 1
+    print(f"regress_check: OK ({len(args.fresh)} fresh run(s) within "
+          f"tolerance of {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,7 +6,7 @@
 //   $ ./examples/qasm_runner [file.qasm] [--backend single|peer|shmem|
 //                            coarse|generalized] [--workers K] [--shots N]
 //                            [--profile trace.json] [--report]
-//                            [--report-json report.json]
+//                            [--report-json report.json] [--roofline]
 //
 // --profile (or the SVSIM_PROFILE=<path> environment variable) turns on
 // per-gate profiling: the run report breakdown is printed and a Chrome
@@ -14,11 +14,15 @@
 // track per PE.
 //
 // --report prints the full run report (gate breakdown, comm totals,
-// health line, and the PE×PE traffic-matrix heatmap on distributed
-// backends). --report-json <path> writes the machine-readable report
-// ("svsim-report-v1"). When the health monitor is active (SVSIM_HEALTH)
-// and tripped — non-finite amplitudes, norm-drift warnings, or an abort —
-// the process exits with status 2 so CI can gate on numerical health.
+// health line, roofline attribution, and the PE×PE traffic-matrix heatmap
+// on distributed backends). --report-json <path> writes the
+// machine-readable report ("svsim-report-v1"). Both enable the roofline
+// tier (analytic bytes/flops + perf_event_open counters when the kernel
+// allows them, model-only otherwise); --roofline asks for exactly that
+// with per-gate profiling on, as a shorthand for the report path. When
+// the health monitor is active (SVSIM_HEALTH) and tripped — non-finite
+// amplitudes, norm-drift warnings, or an abort — the process exits with
+// status 2 so CI can gate on numerical health.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -100,10 +104,19 @@ int main(int argc, char** argv) {
       want_report = true;
     } else if (arg == "--report-json" && i + 1 < argc) {
       report_json_path = argv[++i];
+    } else if (arg == "--roofline") {
+      // Alias into the report path: roofline attribution plus per-gate
+      // profiling (the worst-attainment table needs per-op seconds).
+      want_report = true;
+      cfg.profile = true;
     } else {
       file = arg;
     }
   }
+  // The report paths always carry the roofline section; it is cheap
+  // (analytic model + four counter fds) and degrades to model-only where
+  // perf_event_open is denied.
+  if (want_report || !report_json_path.empty()) cfg.roofline = true;
   // SVSIM_PROFILE=<path> alone also enables profiling (handled inside the
   // backends); cfg.profile just mirrors the explicit flag.
 

@@ -54,6 +54,12 @@ struct SimConfig {
   /// overrides when this field is left at auto (0 off, 1 auto, n >= 2
   /// explicit).
   int sched_window = -1;
+  /// Roofline attribution (obs/perfmodel + obs/counters): price the run's
+  /// expected bytes/flops analytically, sample hardware counters around
+  /// the gate loop (perf_event_open; degrades to model-only where
+  /// denied), and join both against the machine-model peak bandwidth in
+  /// RunReport::roofline. SVSIM_ROOFLINE=1 also enables it.
+  bool roofline = false;
 };
 
 } // namespace svsim

@@ -569,6 +569,10 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
       }
     }
     const std::vector<WindowAction<Space>>& actions = ex.actions[wi];
+    // Window-level trace span ("sched windows" track): the window is a
+    // team-wide construct, so one worker records it for the whole team.
+    const bool win_trace = rec != nullptr && rec->collect_trace() && me == 0;
+    const double win_t0 = win_trace ? obs::trace_now_us() : 0;
     for (IdxType blk = first_blk; blk < first_blk + blocks_per_worker;
          ++blk) {
       const IdxType base = blk << b;
@@ -585,6 +589,12 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
       }
     }
     sp.sync();
+    if (win_trace) {
+      rec->record_window(win_t0, obs::trace_now_us(),
+                         static_cast<std::uint64_t>(wi),
+                         static_cast<std::uint64_t>(w.n_gates),
+                         static_cast<int>(b));
+    }
     const std::uint64_t prev = gate_id;
     gate_id += static_cast<std::uint64_t>(w.n_gates);
     // The cadence is evaluated at window granularity: one checkpoint when

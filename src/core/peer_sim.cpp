@@ -6,6 +6,8 @@
 #include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "core/kernels/blocked.hpp"
+#include "machine/model.hpp"
+#include "obs/counters.hpp"
 #include "obs/registry.hpp"
 #include "shmem/barrier.hpp"
 
@@ -109,6 +111,15 @@ void PeerSim::execute(const Circuit& circuit) {
     }
   };
 
+  // The sampler inherits into the device threads spawned below and they
+  // join before it is read, so the counts cover the whole team.
+  const bool roofline = roofline_on(cfg_);
+  const obs::RunModel model =
+      roofline ? obs::model_run(circuit, sched.active ? &sched.sched : nullptr)
+               : obs::RunModel{};
+  obs::CounterSampler counters(roofline);
+  const double loop_t0 = obs::trace_now_us();
+  counters.start();
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
     // One host thread per device (the paper's `omp parallel num_threads
@@ -119,9 +130,15 @@ void PeerSim::execute(const Circuit& circuit) {
     device_main(0);
     for (auto& t : workers) t.join();
   }
+  counters.stop();
   set_log_pe(-1); // the calling thread ran device 0
 
   if (rec) rec->finish(rep, name());
+  if (roofline) {
+    obs::fold_roofline(rep, model, counters.sample(),
+                       machine::host_peak_gbps(n_dev_), name(), loop_t0,
+                       obs::trace_now_us());
+  }
   if (health) health->finish(rep);
   if (flight != nullptr) set_flight_pending(n_dev_);
   const PeerTraffic total = traffic();

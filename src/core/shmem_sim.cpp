@@ -4,6 +4,8 @@
 
 #include "common/timer.hpp"
 #include "core/kernels/blocked.hpp"
+#include "machine/model.hpp"
+#include "obs/counters.hpp"
 #include "obs/registry.hpp"
 
 namespace svsim {
@@ -88,6 +90,15 @@ void ShmemSim::execute(const Circuit& circuit) {
       health ? health->every_n() : 0);
   if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
 
+  // runtime_.run spawns the PE threads below and joins them before the
+  // sampler is read, so inherited child counts cover the whole team.
+  const bool roofline = roofline_on(cfg_);
+  const obs::RunModel model =
+      roofline ? obs::model_run(circuit, sched.active ? &sched.sched : nullptr)
+               : obs::RunModel{};
+  obs::CounterSampler counters(roofline);
+  const double loop_t0 = obs::trace_now_us();
+  counters.start();
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
     runtime_.run([&](shmem::Ctx& ctx) {
@@ -107,8 +118,14 @@ void ShmemSim::execute(const Circuit& circuit) {
       }
     });
   }
+  counters.stop();
   last_traffic_ = runtime_.aggregate_traffic();
   if (rec) rec->finish(rep, name());
+  if (roofline) {
+    obs::fold_roofline(rep, model, counters.sample(),
+                       machine::host_peak_gbps(n_pes_), name(), loop_t0,
+                       obs::trace_now_us());
+  }
   if (health) health->finish(rep);
   if (flight != nullptr) set_flight_pending(n_pes_);
   rep.comm.add_shmem(last_traffic_);

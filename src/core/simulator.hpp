@@ -17,6 +17,7 @@
 #include "ir/circuit.hpp"
 #include "ir/fusion.hpp"
 #include "obs/health.hpp"
+#include "obs/perfmodel.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -103,6 +104,14 @@ protected:
   /// Per-run profiling decision: the config flag, or SVSIM_PROFILE set.
   static bool profiling_on(const SimConfig& cfg) {
     return cfg.profile || !obs::env_profile_path().empty();
+  }
+
+  /// Per-run roofline decision: SVSIM_ROOFLINE wins when set (1 on,
+  /// 0 force-off, mirroring SVSIM_SCHED); otherwise the config flag.
+  static bool roofline_on(const SimConfig& cfg) {
+    const int env = obs::env_roofline();
+    if (env >= 0) return env == 1;
+    return cfg.roofline;
   }
 
   /// A HealthMonitor for this run, or nullptr when monitoring is off

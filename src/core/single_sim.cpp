@@ -2,6 +2,8 @@
 
 #include "common/timer.hpp"
 #include "core/kernels/blocked.hpp"
+#include "machine/model.hpp"
+#include "obs/counters.hpp"
 #include "obs/registry.hpp"
 
 namespace svsim {
@@ -55,6 +57,13 @@ void SingleSim::run(const Circuit& circuit) {
       circuit, device_circuit, cfg_, n_, prof,
       health ? health->every_n() : 0);
   if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
+  const bool roofline = roofline_on(cfg_);
+  const obs::RunModel model =
+      roofline ? obs::model_run(circuit, sched.active ? &sched.sched : nullptr)
+               : obs::RunModel{};
+  obs::CounterSampler counters(roofline);
+  const double loop_t0 = obs::trace_now_us();
+  counters.start();
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
     if (prof) {
@@ -72,6 +81,12 @@ void SingleSim::run(const Circuit& circuit) {
     } else {
       simulation_kernel(device_circuit, sp, nullptr, health.get(), flight);
     }
+  }
+  counters.stop();
+  if (roofline) {
+    obs::fold_roofline(rep, model, counters.sample(),
+                       machine::host_peak_gbps(1), name(), loop_t0,
+                       obs::trace_now_us());
   }
   if (health) health->finish(rep);
   if (flight != nullptr) set_flight_pending(1);

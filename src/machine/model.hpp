@@ -100,6 +100,20 @@ double touched_fraction(OP op, bool generalized);
 /// (i.e. require data owned by another worker/node).
 int high_qubits(const Gate& g, IdxType boundary_bit);
 
+/// STREAM-style effective peak memory bandwidth of `workers` workers of
+/// platform `p`, implied by its memory-tier element cost: a touched
+/// amplitude moves 32 bytes (16 read + 16 written across the re/im
+/// arrays) in ns_mem (CPU, divided by the vector speedup) or ns_per_elem
+/// (GPU) nanoseconds. This is the roofline ceiling the obs/perfmodel
+/// attribution tier prices achieved bandwidth against.
+double stream_peak_gbps(const Platform& p, int workers = 1);
+
+/// Peak bandwidth used for roofline attribution on *this* host:
+/// SVSIM_PEAK_GBPS=<GB/s> (a measured machine total, e.g. from STREAM
+/// triad) when set, otherwise stream_peak_gbps of the default calibration
+/// platform (AMD EPYC-7742) scaled to `workers`.
+double host_peak_gbps(int workers = 1);
+
 /// Estimator for one platform.
 class CostModel {
 public:

@@ -1,6 +1,23 @@
 #include "machine/platforms.hpp"
 
+#include <cstdlib>
+
 namespace svsim::machine {
+
+double host_peak_gbps(int workers) {
+  // SVSIM_PEAK_GBPS, when set, is a *measured machine total* (e.g. a
+  // STREAM triad number for the whole socket) and is used as-is; the
+  // worker count only matters for the modeled fallback.
+  static const double env_peak = [] {
+    const char* v = std::getenv("SVSIM_PEAK_GBPS");
+    if (v == nullptr || *v == '\0') return 0.0;
+    char* end = nullptr;
+    const double g = std::strtod(v, &end);
+    return (end != v && g > 0.0) ? g : 0.0;
+  }();
+  if (env_peak > 0.0) return env_peak;
+  return stream_peak_gbps(amd_epyc_7742(), workers);
+}
 
 // Calibration note: every constant below is an *effective* parameter (see
 // model.hpp). They were fit so that the model reproduces the qualitative

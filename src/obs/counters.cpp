@@ -1,0 +1,163 @@
+#include "obs/counters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace svsim::obs {
+
+namespace {
+std::atomic<bool> g_force_unavailable{false};
+
+#if defined(__linux__)
+const char* errno_name(int err) {
+  switch (err) {
+    case EPERM: return "EPERM";
+    case EACCES: return "EACCES";
+    case ENOENT: return "ENOENT";
+    case ENOSYS: return "ENOSYS";
+    case ENODEV: return "ENODEV";
+    case EOPNOTSUPP: return "EOPNOTSUPP";
+    case EINVAL: return "EINVAL";
+    default: return "errno";
+  }
+}
+
+long open_event(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Worker threads are spawned per run() *after* the sampler exists and
+  // joined before it is read, so inherited child counts are complete.
+  attr.inherit = 1;
+  // The four events multiplex on most PMUs; these let sample() scale.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return syscall(SYS_perf_event_open, &attr, 0 /*this thread*/,
+                 -1 /*any cpu*/, -1 /*no group: inherit forbids it*/, 0UL);
+}
+
+constexpr std::uint64_t llc_read(std::uint64_t result) {
+  return PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (result << 16);
+}
+#endif
+} // namespace
+
+CounterSampler::CounterSampler(bool enable) {
+  if (!enable) return;
+  if (g_force_unavailable.load(std::memory_order_relaxed)) {
+    error_ = "EPERM";
+    return;
+  }
+#if defined(__linux__)
+  struct Want {
+    std::uint32_t type;
+    std::uint64_t config;
+    std::uint32_t alt_type;   // fallback event (0 = none)
+    std::uint64_t alt_config; // e.g. LLC-loads -> cache-references
+  };
+  const Want want[kEvents] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, 0, 0},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, 0, 0},
+      {PERF_TYPE_HW_CACHE, llc_read(PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+       PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+      {PERF_TYPE_HW_CACHE, llc_read(PERF_COUNT_HW_CACHE_RESULT_MISS),
+       PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+  };
+  for (int i = 0; i < kEvents; ++i) {
+    long fd = open_event(want[i].type, want[i].config);
+    if (fd < 0 && want[i].alt_type != 0) {
+      fd = open_event(want[i].alt_type, want[i].alt_config);
+    }
+    if (fd < 0) {
+      error_ = errno_name(errno);
+      for (int j = 0; j < i; ++j) {
+        close(fds_[j]);
+        fds_[j] = -1;
+      }
+      return;
+    }
+    fds_[i] = static_cast<int>(fd);
+  }
+  available_ = true;
+#else
+  error_ = "unsupported platform";
+#endif
+}
+
+CounterSampler::~CounterSampler() {
+#if defined(__linux__)
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+void CounterSampler::start() {
+#if defined(__linux__)
+  if (!available_) return;
+  for (int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+#endif
+}
+
+void CounterSampler::stop() {
+#if defined(__linux__)
+  if (!available_) return;
+  for (int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+#endif
+}
+
+CounterSample CounterSampler::sample() const {
+  CounterSample s;
+  if (!available_) {
+    s.error = error_.empty() ? "counters disabled" : error_;
+    return s;
+  }
+#if defined(__linux__)
+  std::uint64_t vals[kEvents] = {0, 0, 0, 0};
+  for (int i = 0; i < kEvents; ++i) {
+    // read_format: value, time_enabled, time_running.
+    std::uint64_t buf[3] = {0, 0, 0};
+    const ssize_t got = read(fds_[i], buf, sizeof buf);
+    if (got != static_cast<ssize_t>(sizeof buf)) {
+      s.error = "short read";
+      return s;
+    }
+    double v = static_cast<double>(buf[0]);
+    if (buf[2] != 0 && buf[2] < buf[1]) {
+      v = v * static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+    }
+    vals[i] = static_cast<std::uint64_t>(v);
+  }
+  s.available = true;
+  s.cycles = vals[0];
+  s.instructions = vals[1];
+  s.llc_loads = vals[2];
+  s.llc_misses = vals[3];
+#endif
+  return s;
+}
+
+void CounterSampler::force_unavailable_for_testing(bool on) {
+  g_force_unavailable.store(on, std::memory_order_relaxed);
+}
+
+} // namespace svsim::obs

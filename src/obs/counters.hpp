@@ -1,0 +1,65 @@
+// obs::CounterSampler — hardware performance counters around the gate loop.
+//
+// Wraps perf_event_open(2) on Linux: cycles, instructions, and last-level
+// cache loads/misses, counted across the sampling thread *and every worker
+// thread it spawns* (inherit=1 — valid here because all three wired
+// backends create their worker teams after the sampler starts and join
+// them before it is read). The four events share time on the PMU; counts
+// are scaled by time_enabled/time_running, the standard multiplexing
+// correction.
+//
+// The whole facility degrades gracefully: in containers and CI runners
+// perf_event_open is typically denied (EPERM/EACCES under the default
+// seccomp profile, or perf_event_paranoid), on non-Linux hosts the syscall
+// does not exist. Either way sample() returns {available=false, error=...}
+// and the roofline report falls back to model-only output — counters must
+// never change a run's behavior or exit code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace svsim::obs {
+
+/// One joined reading of the counter group. `available` is false when the
+/// kernel refused the events (or the platform has none); the remaining
+/// fields are then zero and `error` says why (e.g. "EPERM").
+struct CounterSample {
+  bool available = false;
+  std::string error; // empty when available; errno name / reason otherwise
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;  // last-level cache read accesses
+  std::uint64_t llc_misses = 0; // ... that missed to memory
+};
+
+class CounterSampler {
+public:
+  /// Opens the event group when `enable`; a disabled sampler is inert and
+  /// free. Opening never throws — failure is recorded and reported via
+  /// sample().
+  explicit CounterSampler(bool enable);
+  ~CounterSampler();
+
+  CounterSampler(const CounterSampler&) = delete;
+  CounterSampler& operator=(const CounterSampler&) = delete;
+
+  /// Reset and start counting / stop counting. No-ops when unavailable.
+  void start();
+  void stop();
+
+  /// Read the (stopped) counters, multiplex-scaled.
+  CounterSample sample() const;
+
+  /// Test hook: force every subsequent constructor down the
+  /// counters-unavailable path, as if perf_event_open returned EPERM.
+  static void force_unavailable_for_testing(bool on);
+
+private:
+  static constexpr int kEvents = 4;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  bool available_ = false;
+  std::string error_;
+};
+
+} // namespace svsim::obs

@@ -1,0 +1,96 @@
+// obs::perfmodel — analytic per-gate cost attribution for the roofline
+// report.
+//
+// Every specialized kernel's footprint is known in closed form from the
+// state dimension: a T gate rewrites only the |1> half of the amplitudes
+// with 4 real ops each, H streams every pair with 8, CX permutes half the
+// amplitudes with no arithmetic at all, and a blocked scheduler window
+// (kernels/blocked.hpp) collapses its member gates' sweeps into at most
+// one pass over the state. This module prices those footprints — expected
+// amplitudes touched, bytes moved, real floating-point ops — per gate,
+// per op kind, and per scheduled window, mirroring the actual kernel
+// bodies in kernels/gates1q.hpp, gates2q.hpp and the phase-table paths.
+//
+// Counting conventions (tests/test_perfmodel.cpp pins these):
+//  * one touched amplitude moves 32 bytes: 16 read + 16 written across
+//    the split re/im arrays (measurement's probability scan is read-only
+//    and priced at 16);
+//  * a "flop" is one real add/sub/mul/negate, counted off the kernel body
+//    (a complex multiply by a general phase is 6, H's butterfly is 8 per
+//    pair, a dense 2x2 complex multiply is 28 per pair).
+//
+// fold_roofline() joins this model with the hardware-counter sample and
+// the machine model's STREAM-style peak into RunReport::roofline — the
+// achieved-GB/s / arithmetic-intensity / %-of-peak attribution the paper
+// reasons with, plus the top worst-attainment gate kinds.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/schedule.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+
+namespace svsim::obs {
+
+/// Expected footprint of one gate on a 2^n state.
+struct GateCost {
+  double amps = 0;  // amplitudes read or written
+  double bytes = 0; // memory traffic (32 per rewritten amp)
+  double flops = 0; // real adds/subs/muls/negates
+};
+
+/// Footprint of `g`'s specialized kernel on an n-qubit state.
+GateCost gate_cost(const Gate& g, IdxType n_qubits);
+
+/// Per-op-kind accumulated footprint.
+struct OpCost {
+  std::uint64_t count = 0;
+  double amps = 0;
+  double bytes = 0;
+  double flops = 0;
+};
+
+/// Footprint of one scheduled window. For blocked windows `bytes` is the
+/// cache-blocked traffic: the member gates' sweeps collapse into at most
+/// one full-state pass (min(32 * 2^n, per-gate sum) — a window of cheap
+/// diagonals can undercut even a single sweep).
+struct WindowCost {
+  bool blocked = false;
+  std::uint64_t gates = 0;
+  double amps = 0;
+  double bytes = 0;
+  double flops = 0;
+};
+
+/// Whole-run expected footprint.
+struct RunModel {
+  bool enabled = false;
+  double amps = 0;
+  double bytes = 0;       // per-gate-loop traffic (no blocking)
+  double bytes_sched = 0; // traffic under the schedule (== bytes when none)
+  double flops = 0;
+  std::array<OpCost, static_cast<std::size_t>(kNumOps)> by_op{};
+  std::vector<WindowCost> windows; // empty when no schedule given
+};
+
+/// Price every gate of `circuit`; with a `schedule`, also price each
+/// window and account cache blocking in bytes_sched.
+RunModel model_run(const Circuit& circuit, const Schedule* schedule = nullptr);
+
+/// SVSIM_ROOFLINE from the environment: -1 unset, 0 off, 1 on. Read once.
+int env_roofline();
+
+/// Join model + counters + machine peak into `report.roofline`, compute
+/// the worst-attainment op kinds (needs per-op profiled seconds), and —
+/// when tracing is active — emit "model GB/s" / "LLC GB/s" counter-track
+/// samples for the [t0_us, t1_us] gate-loop interval under the trace
+/// process `process`. Requires report.wall_seconds to be final.
+void fold_roofline(RunReport& report, const RunModel& model,
+                   const CounterSample& counters, double peak_gbps,
+                   const std::string& process, double t0_us, double t1_us);
+
+} // namespace svsim::obs

@@ -246,6 +246,51 @@ std::string RunReport::summary() const {
     os << buf;
   }
 
+  if (roofline.enabled) {
+    const RooflineStats& r = roofline;
+    std::snprintf(buf, sizeof(buf),
+                  "  roofline: model %.2f MB moved (%.2f MB under schedule), "
+                  "%.3f Mflop, AI %.4f flop/byte\n",
+                  r.model_bytes / 1e6, r.model_bytes_sched / 1e6,
+                  r.model_flops / 1e6, r.ai);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    achieved %.2f GB/s (model bytes / wall) = %.1f%% of "
+                  "%.1f GB/s machine peak\n",
+                  r.model_gbps, r.attainment * 100.0, r.peak_gbps);
+    os << buf;
+    if (r.counters) {
+      const double ipc =
+          r.cycles != 0
+              ? static_cast<double>(r.instructions) / static_cast<double>(r.cycles)
+              : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "    counters: %.3fG cycles, %.3fG instr (IPC %.2f), LLC "
+                    "%.2fM loads / %.2fM misses, mem %.2f GB/s\n",
+                    static_cast<double>(r.cycles) / 1e9,
+                    static_cast<double>(r.instructions) / 1e9, ipc,
+                    static_cast<double>(r.llc_loads) / 1e6,
+                    static_cast<double>(r.llc_misses) / 1e6, r.measured_gbps);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "    counters: unavailable (%s) — model-only roofline\n",
+                    r.counters_error.c_str());
+    }
+    os << buf;
+    if (!r.worst.empty()) {
+      os << "    worst attainment (profiled):\n";
+      for (const RooflineStats::OpAttainment& a : r.worst) {
+        std::snprintf(buf, sizeof(buf),
+                      "      %-8s %6.1f%% of peak (%.2f GB/s, %llu gates, "
+                      "%.3f ms)\n",
+                      op_name(a.op), a.attainment * 100.0, a.gbps,
+                      static_cast<unsigned long long>(a.count),
+                      a.seconds * 1e3);
+        os << buf;
+      }
+    }
+  }
+
   if (!matrix.empty()) {
     const TrafficMatrix::Imbalance im = matrix.imbalance();
     std::snprintf(buf, sizeof(buf),

@@ -83,6 +83,49 @@ struct SchedulerStats {
   std::uint64_t traffic_avoided_bytes = 0;
 };
 
+/// Roofline attribution of the last run(): the analytic cost model's
+/// expected footprint (obs/perfmodel), the hardware-counter sample around
+/// the gate loop (obs/counters, perf_event_open), and their join against
+/// the machine model's STREAM-style peak bandwidth. Defaults when the
+/// roofline tier was off; `counters == false` with a non-empty
+/// `counters_error` is the graceful model-only degradation (CI
+/// containers, non-Linux hosts).
+struct RooflineStats {
+  bool enabled = false;
+  // Analytic expectation for the executed circuit.
+  double model_amps = 0;
+  double model_bytes = 0;       // per-gate-loop memory traffic
+  double model_bytes_sched = 0; // traffic under the blocked schedule
+  double model_flops = 0;
+  double ai = 0; // arithmetic intensity: flops per scheduled byte
+  // Join against the machine model.
+  double peak_gbps = 0;  // STREAM-style peak (SVSIM_PEAK_GBPS overrides)
+  double model_gbps = 0; // model_bytes_sched / wall_seconds
+  double attainment = 0; // model_gbps / peak_gbps
+  // Hardware counters, multiplex-scaled; zero when unavailable.
+  bool counters = false;
+  std::string counters_error; // why unavailable ("EPERM", ...)
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+  double measured_gbps = 0; // llc_misses × 64-byte lines / wall
+
+  /// One op kind's achieved bandwidth vs the roofline, from the profiled
+  /// per-op seconds (wall-apportioned across workers).
+  struct OpAttainment {
+    OP op = OP::ID;
+    std::uint64_t count = 0;
+    double bytes = 0;
+    double seconds = 0;
+    double gbps = 0;
+    double attainment = 0;
+  };
+  /// Worst-attainment op kinds, ascending (at most 10); filled only on
+  /// profiled runs (per-op seconds require profiling).
+  std::vector<OpAttainment> worst;
+};
+
 /// Per-PE×PE communication volume from the last run(), row-major
 /// [src * n + dst] in bytes moved by one-sided ops issued by `src`
 /// targeting `dst` (diagonal = local traffic). Empty (n == 0) for
@@ -129,6 +172,7 @@ struct RunReport {
   CommStats comm;
   HealthStats health;   // numerical-health tier (defaults when disabled)
   SchedulerStats sched; // gate-window scheduler (defaults when off)
+  RooflineStats roofline; // roofline attribution (defaults when off)
   TrafficMatrix matrix; // per-PE×PE traffic (distributed backends only)
   /// Flight-recorder events drained at the end of a successful run
   /// (empty when the recorder is disabled).

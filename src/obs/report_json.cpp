@@ -138,6 +138,57 @@ std::string to_json(const RunReport& report) {
   append_u64(os, sc.traffic_avoided_bytes);
   os << '}';
 
+  const RooflineStats& rf = report.roofline;
+  os << ",\"roofline\":{\"enabled\":" << (rf.enabled ? "true" : "false")
+     << ",\"model\":{\"amps\":";
+  append_double(os, rf.model_amps);
+  os << ",\"bytes\":";
+  append_double(os, rf.model_bytes);
+  os << ",\"bytes_sched\":";
+  append_double(os, rf.model_bytes_sched);
+  os << ",\"flops\":";
+  append_double(os, rf.model_flops);
+  os << ",\"ai\":";
+  append_double(os, rf.ai);
+  os << "},\"peak_gbps\":";
+  append_double(os, rf.peak_gbps);
+  os << ",\"model_gbps\":";
+  append_double(os, rf.model_gbps);
+  os << ",\"attainment\":";
+  append_double(os, rf.attainment);
+  os << ",\"counters\":{\"available\":" << (rf.counters ? "true" : "false")
+     << ",\"error\":";
+  append_escaped(os, rf.counters_error);
+  os << ",\"cycles\":";
+  append_u64(os, rf.cycles);
+  os << ",\"instructions\":";
+  append_u64(os, rf.instructions);
+  os << ",\"llc_loads\":";
+  append_u64(os, rf.llc_loads);
+  os << ",\"llc_misses\":";
+  append_u64(os, rf.llc_misses);
+  os << ",\"measured_gbps\":";
+  append_double(os, rf.measured_gbps);
+  os << "},\"worst\":[";
+  for (std::size_t i = 0; i < rf.worst.size(); ++i) {
+    const RooflineStats::OpAttainment& a = rf.worst[i];
+    if (i != 0) os << ',';
+    os << "{\"op\":";
+    append_escaped(os, op_name(a.op));
+    os << ",\"count\":";
+    append_u64(os, a.count);
+    os << ",\"bytes\":";
+    append_double(os, a.bytes);
+    os << ",\"seconds\":";
+    append_double(os, a.seconds);
+    os << ",\"gbps\":";
+    append_double(os, a.gbps);
+    os << ",\"attainment\":";
+    append_double(os, a.attainment);
+    os << '}';
+  }
+  os << "]}";
+
   if (report.matrix.empty()) {
     os << ",\"traffic_matrix\":null";
   } else {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -31,11 +32,34 @@ public:
 
   bool collect_trace() const { return trace_; }
 
+  /// Buffer one scheduler-window span for the auxiliary "sched windows"
+  /// trace track (caller gates on collect_trace(); one worker records per
+  /// window — the window is a team-wide construct, not a per-PE one).
+  void record_window(double t0_us, double t1_us, std::uint64_t window_id,
+                     std::uint64_t n_gates, int block_exp) {
+    char args[96];
+    std::snprintf(args, sizeof args,
+                  "\"window\":%llu,\"gates\":%llu,\"block_exp\":%d",
+                  static_cast<unsigned long long>(window_id),
+                  static_cast<unsigned long long>(n_gates), block_exp);
+    TraceEvent e;
+    e.name = "window";
+    e.cat = "sched";
+    e.ts_us = t0_us;
+    e.dur_us = t1_us - t0_us;
+    e.args = args;
+    window_events_.push_back(std::move(e));
+  }
+
   void record(int worker, OP op, double t0_us, double t1_us) {
     Track& t = tracks_[static_cast<std::size_t>(worker)];
     t.seconds[static_cast<std::size_t>(op)] += (t1_us - t0_us) * 1e-6;
     if (trace_) {
-      t.events.push_back(TraceEvent{op_name(op), "gate", t0_us, t1_us - t0_us});
+      TraceEvent e;
+      e.name = op_name(op);
+      e.ts_us = t0_us;
+      e.dur_us = t1_us - t0_us;
+      t.events.push_back(std::move(e));
     }
   }
 
@@ -54,6 +78,10 @@ public:
       per_worker.reserve(tracks_.size());
       for (Track& t : tracks_) per_worker.push_back(std::move(t.events));
       Trace::global().flush_run(process, std::move(per_worker));
+      if (!window_events_.empty()) {
+        Trace::global().flush_named_track(process, "sched windows",
+                                          std::move(window_events_));
+      }
     }
   }
 
@@ -63,6 +91,7 @@ private:
     std::vector<TraceEvent> events;
   };
   std::vector<Track> tracks_;
+  std::vector<TraceEvent> window_events_;
   bool trace_;
 };
 

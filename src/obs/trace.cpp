@@ -51,25 +51,74 @@ std::string Trace::path() const {
   return path_;
 }
 
+namespace {
+// Named tracks (scheduler windows, ...) live well above any plausible PE
+// count so they sort after the per-PE gate timelines within a process.
+constexpr int kNamedTidBase = 1000;
+} // namespace
+
+int Trace::pid_locked(const std::string& process) {
+  auto [it, fresh] = pids_.emplace(process, static_cast<int>(pids_.size()));
+  return it->second;
+}
+
 void Trace::flush_run(const std::string& process,
                       std::vector<std::vector<TraceEvent>>&& per_worker) {
   std::size_t added = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, fresh] = pids_.emplace(process, static_cast<int>(pids_.size()));
-    const int pid = it->second;
+    const int pid = pid_locked(process);
     for (int tid = 0; tid < static_cast<int>(per_worker.size()); ++tid) {
       auto& evs = per_worker[static_cast<std::size_t>(tid)];
       if (evs.empty()) continue;
       threads_.insert({pid, tid});
       for (TraceEvent& e : evs) {
-        events_.push_back(Stored{e, pid, tid});
+        events_.push_back(Stored{std::move(e), pid, tid, 'X'});
         ++added;
       }
     }
     write_locked();
   }
   Registry::global().counter("obs.trace_events").add(added);
+}
+
+void Trace::flush_named_track(const std::string& process,
+                              const std::string& track,
+                              std::vector<TraceEvent>&& events) {
+  if (events.empty()) return;
+  std::size_t added = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int pid = pid_locked(process);
+    auto [it, fresh] = named_tracks_.emplace(
+        std::make_pair(pid, track),
+        kNamedTidBase + static_cast<int>(named_tracks_.size()));
+    const int tid = it->second;
+    for (TraceEvent& e : events) {
+      events_.push_back(Stored{std::move(e), pid, tid, 'X'});
+      ++added;
+    }
+    write_locked();
+  }
+  Registry::global().counter("obs.trace_events").add(added);
+}
+
+void Trace::flush_counter(const std::string& process, const char* name,
+                          double ts_us, double value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int pid = pid_locked(process);
+    TraceEvent e;
+    e.name = name;
+    e.cat = "counter";
+    e.ts_us = ts_us;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"value\":%.3f", value);
+    e.args = buf;
+    events_.push_back(Stored{std::move(e), pid, 0, 'C'});
+    write_locked();
+  }
+  Registry::global().counter("obs.trace_events").add(1);
 }
 
 void Trace::write() {
@@ -102,12 +151,31 @@ void Trace::write_locked() {
                  "\"tid\":%d,\"args\":{\"name\":\"PE %d\"}}",
                  pid, tid, tid);
   }
-  for (const Stored& s : events_) {
+  for (const auto& [key, tid] : named_tracks_) {
     sep();
     std::fprintf(f,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                 key.first, tid, key.second.c_str());
+  }
+  for (const Stored& s : events_) {
+    sep();
+    if (s.ph == 'C') {
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,"
+                   "\"pid\":%d,\"tid\":%d,\"args\":{%s}}",
+                   s.e.name, s.e.cat, s.e.ts_us, s.pid, s.tid,
+                   s.e.args.c_str());
+      continue;
+    }
+    std::fprintf(f,
                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-                 "\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+                 "\"dur\":%.3f,\"pid\":%d,\"tid\":%d",
                  s.e.name, s.e.cat, s.e.ts_us, s.e.dur_us, s.pid, s.tid);
+    if (!s.e.args.empty()) {
+      std::fprintf(f, ",\"args\":{%s}", s.e.args.c_str());
+    }
+    std::fputc('}', f);
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);
@@ -117,6 +185,7 @@ void Trace::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   pids_.clear();
   threads_.clear();
+  named_tracks_.clear();
   events_.clear();
 }
 

@@ -27,11 +27,14 @@ namespace svsim::obs {
 
 /// One completed span, timestamps in microseconds since the trace epoch.
 /// `name`/`cat` must point at static storage (op names qualify).
+/// `args`, when non-empty, is the *body* of the event's "args" object —
+/// pre-rendered JSON members like `"window":3,"gates":17` (no braces).
 struct TraceEvent {
   const char* name = "";
   const char* cat = "gate";
   double ts_us = 0;
   double dur_us = 0;
+  std::string args;
 };
 
 /// Path from $SVSIM_PROFILE, or "" if unset. Read once per process.
@@ -57,6 +60,19 @@ public:
   void flush_run(const std::string& process,
                  std::vector<std::vector<TraceEvent>>&& per_worker);
 
+  /// Append one run's events to an auxiliary *named* track of `process`
+  /// (e.g. the scheduler's "sched windows" track). Named tracks live on
+  /// high tids so they sort below the per-PE gate timelines; a repeated
+  /// (process, track) pair reuses its tid across runs.
+  void flush_named_track(const std::string& process, const std::string& track,
+                         std::vector<TraceEvent>&& events);
+
+  /// Append one Chrome counter sample (ph:"C") named `name` at `ts_us`
+  /// under the process-track `process`. Counter tracks render as a filled
+  /// graph in the trace viewer — used for the roofline GB/s overlay.
+  void flush_counter(const std::string& process, const char* name,
+                     double ts_us, double value);
+
   /// Rewrite the file from the currently buffered events.
   void write();
 
@@ -70,8 +86,10 @@ private:
     TraceEvent e;
     int pid;
     int tid;
+    char ph = 'X'; // 'X' complete span, 'C' counter sample
   };
 
+  int pid_locked(const std::string& process);
   void write_locked();
 
   mutable std::mutex mu_;
@@ -80,6 +98,8 @@ private:
   mutable bool path_init_ = false;
   std::map<std::string, int> pids_;
   std::set<std::pair<int, int>> threads_;
+  // Auxiliary named tracks: (pid, track name) -> tid (>= kNamedTidBase).
+  std::map<std::pair<int, std::string>, int> named_tracks_;
   std::vector<Stored> events_;
 };
 

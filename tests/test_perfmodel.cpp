@@ -1,0 +1,233 @@
+// obs::perfmodel + obs::CounterSampler — the roofline attribution tier.
+//
+// Pins the analytic cost model's counting conventions with hand counts
+// (T touches the |1> half at 4 flops/amp, H streams every pair at 8,
+// CX permutes with zero arithmetic, a fused diagonal window collapses to
+// at most one state pass), checks the forced-EPERM counter fallback stays
+// well-formed, and verifies the report JSON remains valid and additive
+// ("svsim-report-v1" keeps every pre-roofline key).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/single_sim.hpp"
+#include "ir/schedule.hpp"
+#include "machine/model.hpp"
+#include "machine/platforms.hpp"
+#include "obs/counters.hpp"
+#include "obs/jsonlite.hpp"
+#include "obs/perfmodel.hpp"
+#include "obs/report.hpp"
+
+namespace svsim {
+namespace {
+
+/// gate_cost of the k-th gate of `c`.
+obs::GateCost cost_of(const Circuit& c, std::size_t k) {
+  return obs::gate_cost(c.gates()[k], c.n_qubits());
+}
+
+// --- hand counts ---------------------------------------------------------
+
+TEST(PerfModel, HandCountsOnFourQubits) {
+  // dim = 16, half = 8, quarter = 4; 32 bytes per rewritten amplitude.
+  Circuit c(4);
+  c.t(0).h(1).cx(0, 1).cz(2, 3).x(2).s(3);
+
+  const obs::GateCost t = cost_of(c, 0);
+  EXPECT_DOUBLE_EQ(t.amps, 8.0);    // |1> half only
+  EXPECT_DOUBLE_EQ(t.bytes, 256.0); // 8 * 32
+  EXPECT_DOUBLE_EQ(t.flops, 32.0);  // 4 real ops per touched amp
+
+  const obs::GateCost h = cost_of(c, 1);
+  EXPECT_DOUBLE_EQ(h.amps, 16.0);   // every amplitude
+  EXPECT_DOUBLE_EQ(h.bytes, 512.0);
+  EXPECT_DOUBLE_EQ(h.flops, 64.0);  // butterfly: 8 per pair, 8 pairs
+
+  const obs::GateCost cx = cost_of(c, 2);
+  EXPECT_DOUBLE_EQ(cx.amps, 8.0);   // ctrl=1 half
+  EXPECT_DOUBLE_EQ(cx.bytes, 256.0);
+  EXPECT_DOUBLE_EQ(cx.flops, 0.0);  // pure permutation
+
+  const obs::GateCost cz = cost_of(c, 3);
+  EXPECT_DOUBLE_EQ(cz.amps, 4.0);   // |11> quarter
+  EXPECT_DOUBLE_EQ(cz.flops, 8.0);  // negate re+im per touched amp
+
+  const obs::GateCost x = cost_of(c, 4);
+  EXPECT_DOUBLE_EQ(x.amps, 16.0);
+  EXPECT_DOUBLE_EQ(x.flops, 0.0);
+
+  const obs::GateCost s = cost_of(c, 5);
+  EXPECT_DOUBLE_EQ(s.amps, 8.0);
+  EXPECT_DOUBLE_EQ(s.flops, 8.0);   // i*z is a swap + negate per amp
+}
+
+TEST(PerfModel, RunModelSumsGatesAndBucketsByOp) {
+  Circuit c(4);
+  c.h(0).t(1).t(2).cx(0, 1);
+  const obs::RunModel m = obs::model_run(c);
+
+  EXPECT_TRUE(m.enabled);
+  EXPECT_DOUBLE_EQ(m.amps, 16 + 8 + 8 + 8);
+  EXPECT_DOUBLE_EQ(m.bytes, (16 + 8 + 8 + 8) * 32.0);
+  EXPECT_DOUBLE_EQ(m.flops, 64 + 32 + 32 + 0);
+  // No schedule: scheduled traffic is the per-gate-loop traffic.
+  EXPECT_DOUBLE_EQ(m.bytes_sched, m.bytes);
+  EXPECT_TRUE(m.windows.empty());
+
+  const auto& t_bucket = m.by_op[static_cast<std::size_t>(OP::T)];
+  EXPECT_EQ(t_bucket.count, 2u);
+  EXPECT_DOUBLE_EQ(t_bucket.flops, 64.0);
+  EXPECT_EQ(m.by_op[static_cast<std::size_t>(OP::H)].count, 1u);
+  EXPECT_EQ(m.by_op[static_cast<std::size_t>(OP::CX)].count, 1u);
+  EXPECT_EQ(m.by_op[static_cast<std::size_t>(OP::RZ)].count, 0u);
+}
+
+// --- fused diagonal windows ----------------------------------------------
+
+TEST(PerfModel, FusedDiagonalRunCollapsesToOneStatePass) {
+  // Four T gates on 10 qubits: per-gate each sweeps the |1> half
+  // (512 amps * 32 B), but scheduled together they form one blocked
+  // window capped at a single full-state pass (1024 * 32 B).
+  Circuit c(10);
+  c.t(0).t(1).t(2).t(3);
+  const Schedule s = build_schedule(c, 6);
+  ASSERT_TRUE(s.has_blocked());
+
+  const obs::RunModel m = obs::model_run(c, &s);
+  EXPECT_DOUBLE_EQ(m.bytes, 4 * 512 * 32.0);
+  EXPECT_DOUBLE_EQ(m.bytes_sched, 1024 * 32.0); // min(sum, one pass) = pass
+  ASSERT_EQ(m.windows.size(), 1u);
+  EXPECT_TRUE(m.windows[0].blocked);
+  EXPECT_EQ(m.windows[0].gates, 4u);
+  EXPECT_DOUBLE_EQ(m.windows[0].bytes, 1024 * 32.0);
+  EXPECT_DOUBLE_EQ(m.flops, 4 * 4 * 512.0); // arithmetic is never elided
+}
+
+TEST(PerfModel, CheapDiagonalWindowUndercutsAFullPass) {
+  // Two CZ gates touch only the |11> quarter each: their summed traffic
+  // (2 * 256 * 32 B) is below one full pass, and the window keeps the
+  // smaller figure.
+  Circuit c(10);
+  c.cz(0, 1).cz(2, 3);
+  const Schedule s = build_schedule(c, 6);
+  ASSERT_TRUE(s.has_blocked());
+
+  const obs::RunModel m = obs::model_run(c, &s);
+  EXPECT_DOUBLE_EQ(m.bytes_sched, 2 * 256 * 32.0);
+  EXPECT_LT(m.bytes_sched, 1024 * 32.0);
+}
+
+// --- counter fallback ----------------------------------------------------
+
+TEST(PerfModel, ForcedUnavailableCountersStayWellFormed) {
+  obs::CounterSampler::force_unavailable_for_testing(true);
+  {
+    obs::CounterSampler sampler(true);
+    sampler.start();
+    sampler.stop();
+    const obs::CounterSample cs = sampler.sample();
+    EXPECT_FALSE(cs.available);
+    EXPECT_FALSE(cs.error.empty());
+    EXPECT_EQ(cs.cycles, 0u);
+    EXPECT_EQ(cs.instructions, 0u);
+    EXPECT_EQ(cs.llc_loads, 0u);
+    EXPECT_EQ(cs.llc_misses, 0u);
+  }
+  obs::CounterSampler::force_unavailable_for_testing(false);
+
+  // A sampler that was never enabled is inert, not an error.
+  const obs::CounterSample off = obs::CounterSampler(false).sample();
+  EXPECT_FALSE(off.available);
+}
+
+TEST(PerfModel, FoldRooflineDegradesToModelOnly) {
+  Circuit c(8);
+  c.h(0).cx(0, 1).t(2);
+  const obs::RunModel model = obs::model_run(c);
+
+  obs::RunReport rep;
+  rep.wall_seconds = 1e-3;
+  obs::CounterSample cs;
+  cs.error = "EPERM";
+  obs::fold_roofline(rep, model, cs, /*peak_gbps=*/10.0, "test", 0, 0);
+
+  EXPECT_TRUE(rep.roofline.enabled);
+  EXPECT_DOUBLE_EQ(rep.roofline.model_bytes, model.bytes);
+  EXPECT_DOUBLE_EQ(rep.roofline.model_gbps, model.bytes / 1e-3 / 1e9);
+  EXPECT_DOUBLE_EQ(rep.roofline.attainment, rep.roofline.model_gbps / 10.0);
+  EXPECT_GT(rep.roofline.ai, 0.0);
+  EXPECT_FALSE(rep.roofline.counters);
+  EXPECT_EQ(rep.roofline.counters_error, "EPERM");
+  EXPECT_DOUBLE_EQ(rep.roofline.measured_gbps, 0.0);
+  EXPECT_TRUE(rep.roofline.worst.empty()) << "needs profiled seconds";
+
+  const std::string text = rep.summary();
+  EXPECT_NE(text.find("roofline"), std::string::npos);
+  EXPECT_NE(text.find("model-only"), std::string::npos);
+}
+
+// --- end-to-end + JSON schema --------------------------------------------
+
+TEST(PerfModel, SingleSimRooflineReportIsAdditiveValidJson) {
+  obs::CounterSampler::force_unavailable_for_testing(true);
+  SimConfig cfg;
+  cfg.roofline = true;
+  cfg.profile = true; // worst-attainment table needs per-op seconds
+  Circuit c(6);
+  for (IdxType q = 0; q < 6; ++q) c.h(q);
+  c.cx(0, 1).t(2).t(3).cz(4, 5);
+
+  SingleSim sim(6, cfg);
+  sim.run(c);
+  const obs::RunReport rep = sim.last_report();
+  obs::CounterSampler::force_unavailable_for_testing(false);
+
+  EXPECT_TRUE(rep.roofline.enabled);
+  EXPECT_GT(rep.roofline.model_bytes, 0.0);
+  EXPECT_GT(rep.roofline.peak_gbps, 0.0);
+  EXPECT_FALSE(rep.roofline.counters) << "forced-EPERM run";
+  EXPECT_FALSE(rep.roofline.worst.empty()) << "profiled + peak > 0";
+  for (const auto& w : rep.roofline.worst) {
+    EXPECT_GT(w.count, 0u);
+    EXPECT_GT(w.bytes, 0.0);
+    EXPECT_TRUE(std::isfinite(w.gbps));
+  }
+
+  const std::string json = obs::to_json(rep);
+  std::size_t err = 0;
+  EXPECT_TRUE(obs::jsonlite::valid(json, &err))
+      << "JSON error at byte " << err;
+  // Additive schema: every pre-roofline key survives, roofline joins them.
+  for (const char* key :
+       {"\"schema\":\"svsim-report-v1\"", "\"backend\"", "\"gates\"",
+        "\"sched\"", "\"health\"", "\"roofline\"", "\"peak_gbps\"",
+        "\"counters\"", "\"worst\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(PerfModel, RooflineOffByDefault) {
+  SingleSim sim(4);
+  Circuit c(4);
+  c.h(0).cx(0, 1);
+  sim.run(c);
+  EXPECT_FALSE(sim.last_report().roofline.enabled);
+  // The JSON stays valid with the section disabled.
+  std::size_t err = 0;
+  EXPECT_TRUE(obs::jsonlite::valid(obs::to_json(sim.last_report()), &err));
+}
+
+TEST(PerfModel, StreamPeakScalesWithWorkers) {
+  const double one = machine::host_peak_gbps(1);
+  EXPECT_GT(one, 0.0);
+  // SVSIM_PEAK_GBPS (absolute machine total) aside, the per-worker
+  // STREAM model is linear in the worker count.
+  const machine::Platform& p = machine::amd_epyc_7742();
+  EXPECT_DOUBLE_EQ(machine::stream_peak_gbps(p, 4),
+                   4.0 * machine::stream_peak_gbps(p, 1));
+}
+
+} // namespace
+} // namespace svsim
