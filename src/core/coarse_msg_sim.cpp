@@ -356,7 +356,10 @@ private:
 
   void apply_measure(const Gate& g) {
     const IdxType q = g.qb0;
-    const ValType prob1 = all_reduce_sum(local_prob_bit_set(q));
+    // Clamp like kern_measure: drift in the reduced probability must not
+    // bias the branch or push `keep` negative.
+    const ValType prob1 =
+        std::clamp(all_reduce_sum(local_prob_bit_set(q)), ValType{0}, ValType{1});
     const ValType u = rng_->next_double(); // replicated draw, same everywhere
     const bool one = u < prob1;
     const ValType keep = one ? prob1 : 1.0 - prob1;
@@ -366,7 +369,8 @@ private:
 
   void apply_reset(const Gate& g) {
     const IdxType q = g.qb0;
-    const ValType prob1 = all_reduce_sum(local_prob_bit_set(q));
+    const ValType prob1 =
+        std::clamp(all_reduce_sum(local_prob_bit_set(q)), ValType{0}, ValType{1});
     const ValType prob0 = 1.0 - prob1;
     if (prob0 > 1e-12) {
       collapse(q, false, 1.0 / std::sqrt(prob0));

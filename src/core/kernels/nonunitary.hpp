@@ -36,7 +36,12 @@ void kern_measure(const Gate& g, const Space& sp, IdxType begin,
     const ValType im = sp.get_imag(p1);
     local += r * r + im * im;
   }
-  const ValType prob1 = sp.reduce_sum(local);
+  // Accumulated FP drift (and distributed-reduction rounding) can push
+  // the reduced probability marginally outside [0,1]; clamp before the
+  // draw so the branch cannot be biased past certainty and `keep` cannot
+  // go negative into the sqrt below.
+  const ValType prob1 =
+      std::clamp(sp.reduce_sum(local), ValType{0}, ValType{1});
 
   // Phase 2: collective draw — same value on every worker.
   const ValType u = sp.collective_uniform();
@@ -116,7 +121,10 @@ void kern_reset(const Gate& g, const Space& sp, IdxType begin, IdxType end) {
     const ValType im = sp.get_imag(p0);
     local += r * r + im * im;
   }
-  const ValType prob0 = sp.reduce_sum(local);
+  // Same clamp as kern_measure: drift must not leak through the
+  // renormalization scale.
+  const ValType prob0 =
+      std::clamp(sp.reduce_sum(local), ValType{0}, ValType{1});
 
   if (prob0 > 1e-12) {
     const ValType scale = 1.0 / std::sqrt(prob0);

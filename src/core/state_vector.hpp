@@ -72,6 +72,27 @@ struct StateVector {
     }
     return m;
   }
+
+  /// Max |amp_a - e^{iγ}amp_b| with γ chosen from <other|this>. Global
+  /// phase is unobservable, and rewrites that re-synthesize u3 gates from
+  /// matrix products (1-qubit fusion) preserve the state only up to one;
+  /// differential checks against an unfused reference must compare with
+  /// this rather than max_diff.
+  ValType max_diff_up_to_phase(const StateVector& other) const {
+    SVSIM_CHECK(n_qubits == other.n_qubits, "qubit counts differ");
+    Complex ip = 0;
+    for (std::size_t k = 0; k < amps.size(); ++k) {
+      ip += std::conj(other.amps[k]) * amps[k];
+    }
+    const ValType norm_ip = std::abs(ip);
+    const Complex phase = norm_ip > 1e-300 ? ip / norm_ip : Complex{1, 0};
+    ValType m = 0;
+    for (std::size_t k = 0; k < amps.size(); ++k) {
+      const ValType d = std::abs(amps[k] - phase * other.amps[k]);
+      if (d > m) m = d;
+    }
+    return m;
+  }
 };
 
 } // namespace svsim

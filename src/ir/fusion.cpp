@@ -15,9 +15,22 @@ bool is_identity_up_to_phase(const Mat2& m) {
   return mat_distance(m, kId2, /*up_to_phase=*/true) < 1e-12;
 }
 
+/// Angle tolerance for inverse-pair detection, matching the matrix
+/// tolerance of is_identity_up_to_phase (exact float equality would miss
+/// angles that differ by one rounding step, e.g. a parser-evaluated
+/// expression against its negation).
+constexpr ValType kAngleTol = 1e-12;
+
+bool angles_cancel(ValType a, ValType b) { return std::abs(a + b) < kAngleTol; }
+
 /// True if g2 undoes g1 (same operands, mutually inverse parameters).
+/// Symmetric ops (cz, swap, cu1, rzz, rxx) cancel with the operands
+/// written in either order.
 bool is_inverse_pair(const Gate& g1, const Gate& g2) {
-  if (g1.op != g2.op || g1.qb0 != g2.qb0 || g1.qb1 != g2.qb1) return false;
+  if (g1.op != g2.op) return false;
+  const bool same_order = g1.qb0 == g2.qb0 && g1.qb1 == g2.qb1;
+  const bool swapped = g1.qb0 == g2.qb1 && g1.qb1 == g2.qb0;
+  if (!same_order && !(swapped && is_symmetric_2q(g1.op))) return false;
   switch (g1.op) {
     case OP::CX:
     case OP::CZ:
@@ -31,10 +44,10 @@ bool is_inverse_pair(const Gate& g1, const Gate& g2) {
     case OP::CU1:
     case OP::RXX:
     case OP::RZZ:
-      return g1.theta == -g2.theta;
+      return angles_cancel(g1.theta, g2.theta);
     case OP::CU3:
-      return g1.theta == -g2.theta && g1.phi == -g2.lam &&
-             g1.lam == -g2.phi;
+      return angles_cancel(g1.theta, g2.theta) &&
+             angles_cancel(g1.phi, g2.lam) && angles_cancel(g1.lam, g2.phi);
     default:
       return false;
   }

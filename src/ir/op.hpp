@@ -111,4 +111,14 @@ inline bool is_unitary_op(OP op) {
   return op_info(op).cls != OpClass::kNonUnitary;
 }
 
+/// True for 2-qubit ops whose unitary is invariant under exchanging the
+/// two operands (diagonal in the computational basis or exchange-
+/// symmetric): cz q[a],q[b] == cz q[b],q[a], and likewise swap, cu1,
+/// rzz, rxx. Used by fusion to cancel inverse pairs written with the
+/// operands in either order.
+inline bool is_symmetric_2q(OP op) {
+  return op == OP::CZ || op == OP::SWAP || op == OP::CU1 || op == OP::RZZ ||
+         op == OP::RXX;
+}
+
 } // namespace svsim

@@ -158,12 +158,41 @@ private:
       if (t.kind != Tok::kIdent || (t.text != "qreg" && t.text != "creg")) {
         continue;
       }
+      // Only count tokens that actually form a declaration
+      // (`qreg IDENT [ INT ]`): "qreg" can legally appear as a plain
+      // identifier (e.g. a gate formal), and truncated/mutated inputs
+      // must not have arbitrary neighbouring tokens read as the size.
+      // Anything shape-invalid is left for statement() to diagnose.
+      if (tokens_[i + 1].kind != Tok::kIdent ||
+          tokens_[i + 2].kind != Tok::kLBracket ||
+          tokens_[i + 3].kind != Tok::kInt ||
+          tokens_[i + 4].kind != Tok::kRBracket) {
+        continue;
+      }
       const std::string& name = tokens_[i + 1].text;
-      const auto size = static_cast<IdxType>(tokens_[i + 3].num);
+      // Range-check the raw literal before the integer cast: casting a
+      // double beyond IdxType's range is undefined behaviour.
+      const double raw = tokens_[i + 3].num;
+      if (!(raw >= 1 && raw <= 1e15)) {
+        throw ParseError("register size must be a positive integer in "
+                         "range: " +
+                             name,
+                         t.line, t.col);
+      }
+      const auto size = static_cast<IdxType>(raw);
+      // OpenQASM 2.0 identifiers share one namespace; a duplicate would
+      // silently shadow the first block while its qubits still count
+      // toward the circuit width.
+      if (qregs_.count(name) != 0 || cregs_.count(name) != 0) {
+        throw ParseError("duplicate register declaration: " + name, t.line,
+                         t.col);
+      }
       if (t.text == "qreg") {
         qregs_[name] = {total_qubits_, size};
         total_qubits_ += size;
       } else {
+        SVSIM_CHECK(size <= (IdxType{1} << 20),
+                    "creg size out of supported range: " + name);
         cregs_[name] = {total_cbits_, size};
         total_cbits_ += size;
       }
@@ -336,8 +365,12 @@ private:
     expect(Tok::kSemi, "';'");
 
     // Register broadcast: all multi-qubit operands must agree in length.
+    // Empty operands cannot occur (register sizes are validated positive
+    // at declaration) but would index out of bounds below, so reject them
+    // here as well.
     std::size_t len = 1;
     for (const auto& a : args) {
+      SVSIM_CHECK(!a.empty(), "empty register operand in gate application");
       if (a.size() > 1) {
         SVSIM_CHECK(len == 1 || len == a.size(),
                     "mismatched register sizes in broadcast application");
@@ -414,9 +447,12 @@ private:
     const auto [offset, size] = it->second;
     if (check(Tok::kLBracket)) {
       advance();
-      const auto idx = static_cast<IdxType>(expect(Tok::kInt, "index").num);
+      const double raw = expect(Tok::kInt, "index").num;
       expect(Tok::kRBracket, "']'");
-      SVSIM_CHECK(idx >= 0 && idx < size, "qubit index out of range");
+      // Validate on the double before casting: out-of-range casts are UB.
+      SVSIM_CHECK(raw >= 0 && raw < static_cast<double>(size),
+                  "qubit index out of range");
+      const auto idx = static_cast<IdxType>(raw);
       return {offset + idx};
     }
     std::vector<IdxType> all(static_cast<std::size_t>(size));
@@ -431,9 +467,11 @@ private:
     const auto [offset, size] = it->second;
     if (check(Tok::kLBracket)) {
       advance();
-      const auto idx = static_cast<IdxType>(expect(Tok::kInt, "index").num);
+      const double raw = expect(Tok::kInt, "index").num;
       expect(Tok::kRBracket, "']'");
-      SVSIM_CHECK(idx >= 0 && idx < size, "classical index out of range");
+      SVSIM_CHECK(raw >= 0 && raw < static_cast<double>(size),
+                  "classical index out of range");
+      const auto idx = static_cast<IdxType>(raw);
       return {offset + idx};
     }
     std::vector<IdxType> all(static_cast<std::size_t>(size));

@@ -1,0 +1,211 @@
+#include "testing/diff.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/coarse_msg_sim.hpp"
+#include "core/generalized_sim.hpp"
+#include "core/peer_sim.hpp"
+#include "core/shmem_sim.hpp"
+#include "core/single_sim.hpp"
+
+namespace svsim::testing {
+
+namespace {
+
+/// The circuit the backend actually executes: identical to `c` except for
+/// the optional perturbation seam (used to prove the harness detects and
+/// localizes an injected divergence).
+Circuit backend_circuit(const Circuit& c, const DiffSpec& spec) {
+  Circuit out(c.n_qubits(), CompoundMode::kNative, c.n_cbits());
+  long i = 0;
+  for (const Gate& g : c.gates()) {
+    Gate h = g;
+    if (i == spec.perturb_gate) h.theta += 1e-2;
+    out.append(h);
+    ++i;
+  }
+  return out;
+}
+
+Circuit prefix_of(const Circuit& c, IdxType k) {
+  Circuit p(c.n_qubits(), CompoundMode::kNative, c.n_cbits());
+  for (IdxType i = 0; i < k; ++i) {
+    p.append(c.gates()[static_cast<std::size_t>(i)]);
+  }
+  return p;
+}
+
+ValType state_diff(const Circuit& exec, const DiffSpec& spec,
+                   const StateVector& want) {
+  auto sim = make_backend(spec, exec.n_qubits());
+  if (spec.fusion) {
+    sim->run_fused(exec);
+  } else {
+    sim->run(exec);
+  }
+  return sim->state().max_diff_up_to_phase(want);
+}
+
+/// Smallest prefix length whose final state already diverges. Prefix
+/// re-execution is deterministic (fresh backend + oracle, same seed, so
+/// every mid-circuit measure re-draws the same uniforms).
+long localize(const Circuit& exec, const Circuit& ref, const DiffSpec& spec) {
+  IdxType lo = 1, hi = exec.n_gates();
+  while (lo < hi) {
+    const IdxType mid = lo + (hi - lo) / 2;
+    OracleSim oracle(ref.n_qubits(), spec.seed);
+    oracle.run(prefix_of(ref, mid));
+    if (state_diff(prefix_of(exec, mid), spec, oracle.state()) > spec.tol) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return static_cast<long>(lo);
+}
+
+} // namespace
+
+std::string DiffSpec::label() const {
+  std::ostringstream os;
+  os << backend;
+  if (backend != "single" && backend != "generalized") os << " x" << workers;
+  os << (fusion ? " fusion=on" : " fusion=off")
+     << (sched ? " sched=on" : " sched=off");
+  return os.str();
+}
+
+std::unique_ptr<Simulator> make_backend(const DiffSpec& spec,
+                                        IdxType n_qubits) {
+  SimConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.sched_window = spec.sched ? -1 : 0; // -1 = auto (engine on), 0 = off
+  if (spec.backend == "single") {
+    return std::make_unique<SingleSim>(n_qubits, cfg);
+  }
+  if (spec.backend == "peer") {
+    return std::make_unique<PeerSim>(n_qubits, spec.workers, cfg);
+  }
+  if (spec.backend == "shmem") {
+    return std::make_unique<ShmemSim>(n_qubits, spec.workers, cfg);
+  }
+  if (spec.backend == "coarse") {
+    return std::make_unique<CoarseMsgSim>(n_qubits, spec.workers, cfg);
+  }
+  if (spec.backend == "generalized") {
+    return std::make_unique<GeneralizedSim>(n_qubits, cfg);
+  }
+  throw Error("diff: unknown backend: " + spec.backend);
+}
+
+OracleResult oracle_run(const Circuit& c, std::uint64_t seed, IdxType shots) {
+  OracleSim oracle(c.n_qubits(), seed);
+  oracle.run(c);
+  OracleResult r;
+  r.state = oracle.state();
+  r.cbits = oracle.cbits();
+  if (shots > 0) r.samples = oracle.sample(shots);
+  return r;
+}
+
+DiffResult diff_run(const Circuit& c, const OracleResult& oracle,
+                    const DiffSpec& spec) {
+  DiffResult res;
+  res.config = spec.label();
+  const Circuit exec = backend_circuit(c, spec);
+
+  auto sim = make_backend(spec, c.n_qubits());
+  if (spec.fusion) {
+    sim->run_fused(exec);
+  } else {
+    sim->run(exec);
+  }
+  const StateVector got = sim->state();
+  // Up-to-phase: 1q fusion re-synthesizes u3 gates from matrix products,
+  // which preserves the state only up to a global phase. Relative phases
+  // (the observable ones) are still fully checked.
+  res.max_diff = got.max_diff_up_to_phase(oracle.state);
+
+  std::ostringstream detail;
+  if (res.max_diff > spec.tol) {
+    res.ok = false;
+    res.first_divergence = localize(exec, c, spec);
+    const Gate& g =
+        c.gates()[static_cast<std::size_t>(res.first_divergence - 1)];
+    detail << "state diverged (max |Δamp| = " << res.max_diff
+           << "), first divergent prefix = " << res.first_divergence
+           << ", gate[" << (res.first_divergence - 1) << "] = " << g.str();
+  }
+
+  // Mid-circuit measurement outcomes are in RNG lockstep with the oracle,
+  // so the classical registers must match bit-for-bit.
+  if (sim->cbits() != oracle.cbits) {
+    res.ok = false;
+    if (detail.tellp() > 0) detail << "; ";
+    detail << "classical bits diverged:";
+    for (std::size_t i = 0; i < oracle.cbits.size(); ++i) {
+      if (sim->cbits()[i] != oracle.cbits[i]) {
+        detail << " c[" << i << "]=" << sim->cbits()[i] << " (oracle "
+               << oracle.cbits[i] << ")";
+      }
+    }
+  }
+
+  // Sampling-distribution equivalence under the shared seed: the draw
+  // streams are identical, so outcomes differ only when a draw lands
+  // within the amplitude tolerance of a cumulative boundary — allow a
+  // couple of such boundary shots, fail on anything systematic.
+  if (!oracle.samples.empty() && res.ok) {
+    const std::vector<IdxType> got_samples =
+        sim->sample(static_cast<IdxType>(oracle.samples.size()));
+    IdxType mismatches = 0;
+    for (std::size_t i = 0; i < oracle.samples.size(); ++i) {
+      if (got_samples[i] != oracle.samples[i]) ++mismatches;
+    }
+    const auto allowed = static_cast<IdxType>(
+        2 + static_cast<IdxType>(oracle.samples.size()) / 512);
+    if (mismatches > allowed) {
+      res.ok = false;
+      if (detail.tellp() > 0) detail << "; ";
+      detail << "sampled outcomes diverged on " << mismatches << "/"
+             << oracle.samples.size() << " shots";
+    }
+  }
+
+  if (!res.ok) {
+    // Attach the run-report header so a failure line is self-describing
+    // (backend, width, workers, gate tally) without re-running anything.
+    const obs::RunReport& rep = sim->last_report();
+    detail << " [report: backend=" << rep.backend
+           << " n_qubits=" << rep.n_qubits << " workers=" << rep.n_workers
+           << " gates=" << rep.total_gates
+           << " fused=" << rep.fusion.fused_1q + rep.fusion.cancelled_2q
+           << "]";
+    res.detail = detail.str();
+  }
+  return res;
+}
+
+std::vector<DiffSpec> default_sweep(int workers, std::uint64_t seed,
+                                    IdxType shots, ValType tol) {
+  std::vector<DiffSpec> specs;
+  for (const char* backend : {"single", "peer", "shmem", "coarse"}) {
+    for (const bool fusion : {false, true}) {
+      for (const bool sched : {false, true}) {
+        DiffSpec s;
+        s.backend = backend;
+        s.workers = s.backend == "single" ? 1 : workers;
+        s.fusion = fusion;
+        s.sched = sched;
+        s.seed = seed;
+        s.shots = shots;
+        s.tol = tol;
+        specs.push_back(std::move(s));
+      }
+    }
+  }
+  return specs;
+}
+
+} // namespace svsim::testing

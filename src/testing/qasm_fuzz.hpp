@@ -1,0 +1,50 @@
+// QASM frontend fuzzing: seeded generation of adversarial-but-valid
+// OpenQASM 2.0 source (multi-register programs, user gate definitions,
+// parameter expressions, register-broadcast forms), emit->parse->compare
+// round-trip checking, and mutation fuzzing of the character/token stream
+// for parser crash-safety (run under ASan/UBSan in CI).
+//
+// A "crash" is any escape that is not the library's own svsim::Error
+// hierarchy: mutants are expected to be rejected with ParseError/Error,
+// never to fault, loop, or allocate unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace svsim::testing {
+
+struct QasmGenOptions {
+  int max_qregs = 3;      // 1..max registers, total qubits <= total_qubits
+  IdxType total_qubits = 7;
+  int max_gate_defs = 2;  // user-defined gates with parameter expressions
+  int n_statements = 40;  // application/measure/reset/barrier statements
+};
+
+/// Deterministic adversarial-but-valid OpenQASM 2.0 source.
+std::string random_qasm(const QasmGenOptions& opt, std::uint64_t seed);
+
+struct RoundTripResult {
+  bool ok = true;
+  std::string detail; // first gate-level mismatch, or the parse error
+};
+
+/// parse(src) -> A; parse(A.to_qasm()) -> B; A and B must be gate-for-
+/// gate identical (op, operands, parameters, classical bits).
+RoundTripResult roundtrip_once(const std::string& qasm_src);
+
+struct MutationFuzzStats {
+  int n_mutants = 0;
+  int parsed_ok = 0; // mutants that still parsed (e.g. whitespace edits)
+  int rejected = 0;  // mutants rejected with svsim::Error / ParseError
+};
+
+/// Parse n_mutants mutated copies of `base` (character-level edits and
+/// token-stream drop/duplicate/swap). Throws only if the parser escapes
+/// with a non-svsim exception — that, or a sanitizer report, is a finding.
+MutationFuzzStats mutation_fuzz(const std::string& base, int n_mutants,
+                                std::uint64_t seed);
+
+} // namespace svsim::testing

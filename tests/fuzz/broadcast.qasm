@@ -1,0 +1,16 @@
+// Register-broadcast forms: 1q over a whole register, 2q register-to-
+// register (equal sizes), and single-qubit-control against a register.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[3];
+qreg b[3];
+creg m[3];
+h a;
+x b;
+cx a,b;
+rz(pi/8) a;
+cz a[0],b;
+swap a,b;
+ry(-pi/3) b;
+cx b[2],a;
+measure a -> m;

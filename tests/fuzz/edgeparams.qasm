@@ -1,0 +1,21 @@
+// Edge-case rotation angles (0, +-pi/2, +-pi, 2pi) and full expression
+// grammar: nested functions, unary minus, powers, division.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+rx(0) q[0];
+ry(pi) q[1];
+rz(-pi) q[2];
+u1(2*pi) q[3];
+rx(pi/2) q[0];
+ry(-pi/2) q[1];
+crx(pi) q[0],q[1];
+cry(0) q[2],q[3];
+u3(-pi/2,pi/4,-(pi/8)) q[2];
+rz(sin(cos(1.5))) q[3];
+u1(3^2/10) q[0];
+rzz(exp(0.25)-1) q[1],q[2];
+crz(sqrt(2)/2) q[3],q[0];
+u2(tan(0.3),ln(2)) q[1];
+measure q -> c;

@@ -1,0 +1,24 @@
+// User-defined gates with parameter expressions, including a definition
+// that calls an earlier user-defined gate.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+gate entangle(t) x,y {
+  h x;
+  cx x,y;
+  rz(t/2) y;
+  cx x,y;
+  h x;
+}
+gate doubled(t,u) x,y {
+  entangle(t+u) x,y;
+  u3(sin(t),cos(u),-t) x;
+  barrier x,y;
+  entangle(-t) y,x;
+}
+entangle(pi/4) q[0],q[1];
+doubled(0.3,2*pi/7) q[2],q[3];
+doubled(-1.25,pi^0.5) q[1],q[2];
+h q;
+measure q -> c;

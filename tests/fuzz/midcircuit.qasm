@@ -1,0 +1,20 @@
+// Mid-circuit measurement and reset: collapse, classical-bit writes, and
+// ancilla reuse interleaved with unitaries.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+h q[2];
+reset q[0];
+cx q[2],q[3];
+measure q[2] -> c[2];
+reset q[2];
+h q[2];
+rx(pi/5) q[3];
+measure q[1] -> c[1];
+barrier q;
+h q[0];
+measure q -> c;

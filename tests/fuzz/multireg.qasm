@@ -1,0 +1,20 @@
+// Three quantum registers flattened into one index space; measures into
+// distinct classical registers in both single-bit and register form.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[1];
+qreg d[3];
+creg ca[2];
+creg cb[1];
+creg cd[3];
+h a[0];
+cx a[0],b[0];
+cx b[0],d[0];
+cx d[0],d[2];
+u2(pi/3,-pi/5) d[1];
+cy a[1],d[1];
+ch d[2],a[1];
+measure b -> cb;
+measure a[0] -> ca[0];
+measure d -> cd;

@@ -1,0 +1,22 @@
+// Symmetric two-qubit ops written with both operand orders, including
+// inverse pairs that the fusion pass must cancel regardless of order,
+// and adversarial (descending / interleaved) qubit orderings.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q;
+cz q[4],q[0];
+cz q[0],q[4];
+rzz(0.8) q[3],q[1];
+t q[2];
+rzz(-0.8) q[1],q[3];
+swap q[2],q[0];
+swap q[0],q[2];
+rxx(pi/6) q[4],q[2];
+cu1(1.1) q[3],q[0];
+cu1(-1.1) q[0],q[3];
+cx q[4],q[3];
+cx q[3],q[4];
+crz(2*pi) q[1],q[0];
+measure q -> c;

@@ -1,0 +1,237 @@
+// Tests for the differential correctness harness itself: the dense-matrix
+// oracle against hand-checkable circuits and the production backends, RNG
+// lockstep of measurement outcomes and sampling, the random-circuit and
+// random-QASM generators (determinism, coverage), divergence localization
+// through the perturbation seam, and mutation-fuzz crash safety.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/single_sim.hpp"
+#include "qasm/parser.hpp"
+#include "testing/diff.hpp"
+#include "testing/qasm_fuzz.hpp"
+#include "testing/rand_circuit.hpp"
+
+namespace svsim {
+namespace {
+
+using namespace svsim::testing;
+
+TEST(Oracle, MatchesSingleSimOnGhz) {
+  Circuit c(5);
+  c.h(0);
+  for (IdxType q = 1; q < 5; ++q) c.cx(q - 1, q);
+
+  OracleSim oracle(5);
+  oracle.run(c);
+  SingleSim sim(5);
+  sim.run(c);
+  EXPECT_LT(sim.state().max_diff(oracle.state()), 1e-12);
+  EXPECT_NEAR(oracle.state().prob_of(0), 0.5, 1e-12);
+  EXPECT_NEAR(oracle.state().prob_of(31), 0.5, 1e-12);
+}
+
+TEST(Oracle, MatchesSingleSimOnParametricCircuit) {
+  Circuit c(4);
+  for (IdxType q = 0; q < 4; ++q) c.h(q);
+  c.rzz(0.7, 0, 3);
+  c.crx(-1.3, 1, 2);
+  c.u3(0.4, -0.9, 2.2, 0);
+  c.cu3(1.1, 0.2, -0.5, 3, 1);
+  c.swap(0, 2);
+  c.rxx(0.31, 2, 1);
+
+  OracleSim oracle(4);
+  oracle.run(c);
+  SingleSim sim(4);
+  sim.run(c);
+  EXPECT_LT(sim.state().max_diff(oracle.state()), 1e-12);
+}
+
+TEST(Oracle, MeasurementOutcomesInRngLockstep) {
+  // Mid-circuit measurements: same seed => the oracle and every backend
+  // draw the same uniforms in the same order, so outcomes match exactly.
+  Circuit c(3);
+  c.h(0);
+  c.h(1);
+  c.measure(0, 0);
+  c.cx(0, 1);
+  c.measure(1, 1);
+  c.h(2);
+  c.measure(2, 2);
+
+  for (std::uint64_t seed : {7ull, 42ull, 1234567ull}) {
+    OracleSim oracle(3, seed);
+    oracle.run(c);
+    SimConfig cfg;
+    cfg.seed = seed;
+    SingleSim sim(3, cfg);
+    sim.run(c);
+    EXPECT_EQ(sim.cbits(), oracle.cbits()) << "seed " << seed;
+    EXPECT_LT(sim.state().max_diff(oracle.state()), 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(Oracle, SampleStreamMatchesBackend) {
+  Circuit c(4);
+  for (IdxType q = 0; q < 4; ++q) c.h(q);
+  c.crz(0.3, 0, 2);
+
+  OracleSim oracle(4, 99);
+  oracle.run(c);
+  SimConfig cfg;
+  cfg.seed = 99;
+  SingleSim sim(4, cfg);
+  sim.run(c);
+  EXPECT_EQ(sim.sample(128), oracle.sample(128));
+}
+
+TEST(RandCircuit, DeterministicPerSeed) {
+  CircuitGenOptions opt;
+  const Circuit a = random_circuit(opt, 5);
+  const Circuit b = random_circuit(opt, 5);
+  const Circuit c = random_circuit(opt, 6);
+  ASSERT_EQ(a.n_gates(), b.n_gates());
+  for (IdxType i = 0; i < a.n_gates(); ++i) {
+    const Gate& ga = a.gates()[static_cast<std::size_t>(i)];
+    const Gate& gb = b.gates()[static_cast<std::size_t>(i)];
+    EXPECT_EQ(ga.op, gb.op) << i;
+    EXPECT_EQ(ga.qb0, gb.qb0) << i;
+    EXPECT_EQ(ga.theta, gb.theta) << i;
+  }
+  // A different seed must not reproduce the same stream.
+  bool differs = c.n_gates() != a.n_gates();
+  for (IdxType i = 0; !differs && i < a.n_gates(); ++i) {
+    const Gate& ga = a.gates()[static_cast<std::size_t>(i)];
+    const Gate& gc = c.gates()[static_cast<std::size_t>(i)];
+    differs = ga.op != gc.op || ga.qb0 != gc.qb0 || ga.theta != gc.theta;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandCircuit, CoversNonUnitaryAndMultiQubitOps) {
+  CircuitGenOptions opt;
+  opt.n_gates = 600;
+  const Circuit c = random_circuit(opt, 11);
+  std::set<OP> ops;
+  for (const Gate& g : c.gates()) ops.insert(g.op);
+  EXPECT_TRUE(ops.count(OP::M) != 0);
+  EXPECT_TRUE(ops.count(OP::RESET) != 0);
+  EXPECT_TRUE(ops.count(OP::BARRIER) != 0);
+  // >= 3-qubit compounds decompose at append time, so everything in
+  // gates() must be executable by the oracle (1q/2q/non-unitary).
+  for (const Gate& g : c.gates()) {
+    EXPECT_LE(op_info(g.op).n_qubits, 2) << op_name(g.op);
+  }
+}
+
+TEST(Diff, DefaultSweepCleanOnRandomCircuits) {
+  CircuitGenOptions opt;
+  opt.n_qubits = 5;
+  opt.n_gates = 60;
+  for (int i = 0; i < 3; ++i) {
+    const Circuit c = random_circuit(opt, mix_seed(21, i));
+    const OracleResult oracle = oracle_run(c, 42, 128);
+    for (const DiffSpec& spec : default_sweep(2, 42, 128, 1e-9)) {
+      const DiffResult r = diff_run(c, oracle, spec);
+      EXPECT_TRUE(r.ok) << "circuit " << i << " " << spec.label() << ": "
+                        << r.detail;
+    }
+  }
+}
+
+TEST(Diff, LocalizesInjectedDivergence) {
+  // Unitary, parametric-only circuit so a theta nudge at any index is
+  // guaranteed to change the state.
+  Circuit c(4, CompoundMode::kNative, 4);
+  Rng rng(3);
+  for (int i = 0; i < 24; ++i) {
+    const ValType th = rng.uniform(0.3, 1.2);
+    switch (i % 3) {
+      case 0: c.rx(th, i % 4); break;
+      case 1: c.ry(th, (i + 1) % 4); break;
+      default: c.rzz(th, i % 4, (i + 2) % 4); break;
+    }
+  }
+  const OracleResult oracle = oracle_run(c, 42, 0);
+
+  DiffSpec spec;
+  spec.backend = "single";
+  spec.tol = 1e-6;
+  spec.perturb_gate = 10;
+  const DiffResult r = diff_run(c, oracle, spec);
+  ASSERT_FALSE(r.ok);
+  // Without fusion the first diverging prefix is exactly the perturbed
+  // gate's position.
+  EXPECT_EQ(r.first_divergence, 11);
+  EXPECT_NE(r.detail.find("gate[10]"), std::string::npos) << r.detail;
+
+  // Under fusion the perturbed gate may be absorbed into a fused u3, but
+  // the harness must still flag the run and point at or before it.
+  spec.fusion = true;
+  const DiffResult rf = diff_run(c, oracle, spec);
+  ASSERT_FALSE(rf.ok);
+  EXPECT_LE(rf.first_divergence, 11);
+}
+
+TEST(Diff, FusedRunsMatchUpToGlobalPhaseOnly) {
+  // u2/rx products re-synthesized as u3 carry a different global phase;
+  // the phase-aware comparison accepts them, the strict one need not.
+  Circuit c(2);
+  c.u2(5.2, 2.7, 0);
+  c.rx(-PI / 2, 0);
+  c.h(1);
+  c.cx(0, 1);
+
+  const OracleResult oracle = oracle_run(c, 42, 0);
+  DiffSpec spec;
+  spec.backend = "single";
+  spec.fusion = true;
+  const DiffResult r = diff_run(c, oracle, spec);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(QasmFuzz, GeneratedProgramsParseAndRoundTrip) {
+  for (int i = 0; i < 25; ++i) {
+    const std::string src = random_qasm({}, mix_seed(11, i));
+    const RoundTripResult r = roundtrip_once(src);
+    EXPECT_TRUE(r.ok) << "seed " << mix_seed(11, i) << ": " << r.detail
+                      << "\n" << src;
+  }
+}
+
+TEST(QasmFuzz, GeneratorIsDeterministic) {
+  EXPECT_EQ(random_qasm({}, 123), random_qasm({}, 123));
+  EXPECT_NE(random_qasm({}, 123), random_qasm({}, 124));
+}
+
+TEST(QasmFuzz, GeneratedProgramsMatchOracle) {
+  QasmGenOptions opt;
+  opt.total_qubits = 5;
+  opt.n_statements = 25;
+  for (int i = 0; i < 5; ++i) {
+    const std::string src = random_qasm(opt, mix_seed(31, i));
+    const Circuit c = qasm::parse_qasm(src, CompoundMode::kNative);
+    const OracleResult oracle = oracle_run(c, 42, 64);
+    DiffSpec spec;
+    spec.backend = "single";
+    const DiffResult r = diff_run(c, oracle, spec);
+    EXPECT_TRUE(r.ok) << "seed " << mix_seed(31, i) << ": " << r.detail;
+  }
+}
+
+TEST(QasmFuzz, MutantsNeverEscapeTheErrorHierarchy) {
+  const std::string base = random_qasm({}, 77);
+  // Throws (failing the test) if any mutant escapes with a non-svsim
+  // exception; sanitizer builds additionally catch memory errors.
+  const MutationFuzzStats st = mutation_fuzz(base, 500, 1234);
+  EXPECT_EQ(st.n_mutants, 500);
+  EXPECT_EQ(st.parsed_ok + st.rejected, 500);
+  // Sanity: single-character edits must not all be fatal.
+  EXPECT_GT(st.rejected, 0);
+}
+
+} // namespace
+} // namespace svsim

@@ -167,5 +167,95 @@ TEST(Fusion, IdempotentOnOptimizedCircuit) {
   EXPECT_EQ(twice.n_gates(), once.n_gates());
 }
 
+// --- regressions found by the differential/fuzzing campaign ---
+
+TEST(Fusion, CancelsSymmetricPairsWithSwappedOperands) {
+  // cz/swap/cu1/rzz/rxx act identically with either operand order, so an
+  // inverse pair written with swapped operands must still cancel. The
+  // exact-order comparison used to miss every such pair.
+  {
+    Circuit c(3);
+    c.cz(0, 1);
+    c.cz(1, 0);
+    EXPECT_EQ(fuse_gates(c).n_gates(), 0);
+  }
+  {
+    Circuit c(3);
+    c.swap(2, 0);
+    c.swap(0, 2);
+    EXPECT_EQ(fuse_gates(c).n_gates(), 0);
+  }
+  {
+    Circuit c(3);
+    c.rzz(0.8, 2, 0);
+    c.rzz(-0.8, 0, 2);
+    EXPECT_EQ(fuse_gates(c).n_gates(), 0);
+  }
+  {
+    Circuit c(3);
+    c.rxx(0.31, 0, 1);
+    c.rxx(-0.31, 1, 0);
+    EXPECT_EQ(fuse_gates(c).n_gates(), 0);
+  }
+  {
+    Circuit c(3);
+    c.cu1(1.1, 0, 2);
+    c.cu1(-1.1, 2, 0);
+    EXPECT_EQ(fuse_gates(c).n_gates(), 0);
+  }
+}
+
+TEST(Fusion, AsymmetricPairsWithSwappedOperandsDoNotCancel) {
+  // cx(0,1) followed by cx(1,0) is NOT the identity.
+  {
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(1, 0);
+    EXPECT_EQ(fuse_gates(c).n_gates(), 2);
+  }
+  {
+    Circuit c(2);
+    c.crx(0.4, 0, 1);
+    c.crx(-0.4, 1, 0);
+    EXPECT_EQ(fuse_gates(c).n_gates(), 2);
+  }
+}
+
+TEST(Fusion, InverseAnglesCancelWithinTolerance) {
+  // Angles that differ by a rounding step (a parser-evaluated expression
+  // against its literal negation) must still be recognized as inverse;
+  // exact float equality used to be required.
+  Circuit c(2);
+  c.rzz(0.7, 0, 1);
+  c.rzz(-0.7 + 1e-13, 0, 1);
+  EXPECT_EQ(fuse_gates(c).n_gates(), 0);
+
+  // Clearly different angles must not cancel.
+  Circuit d(2);
+  d.rzz(0.7, 0, 1);
+  d.rzz(-0.6, 0, 1);
+  EXPECT_EQ(fuse_gates(d).n_gates(), 2);
+}
+
+TEST(Fusion, SwappedOperandCancellationPreservesState) {
+  Circuit c(3);
+  c.h(0);
+  c.h(1);
+  c.h(2);
+  c.rzz(0.8, 2, 0);
+  c.t(1); // intervening gate on an uninvolved qubit
+  c.rzz(-0.8, 0, 2);
+  c.cz(1, 2);
+  c.cz(2, 1);
+  c.crz(0.9, 0, 1);
+
+  SingleSim plain(3), fused(3);
+  plain.run(c);
+  FusionStats stats;
+  fused.run(fuse_gates(c, &stats));
+  EXPECT_EQ(stats.cancelled_2q, 4);
+  EXPECT_LT(fused.state().max_diff(plain.state()), 1e-12);
+}
+
 } // namespace
 } // namespace svsim

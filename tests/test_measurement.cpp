@@ -141,5 +141,38 @@ TEST(MeasureAll, GeneralizedSimSamplesSameDistribution) {
   EXPECT_EQ(a.sample(256), b.sample(256));
 }
 
+// --- regressions found by the differential/fuzzing campaign ---
+
+TEST(Measure, ClampsDriftedProbabilityBeforeCollapse) {
+  // An over-norm injected state stands in for accumulated FP drift that
+  // pushes the reduced probability past 1. The kernel must clamp before
+  // drawing and renormalizing: with prob1 clamped to 1 the collapse scale
+  // is exactly 1, so the amplitude passes through untouched instead of
+  // being quietly renormalized by 1/sqrt(1.2).
+  SingleSim sim(1);
+  StateVector sv(1);
+  sv.amps[0] = 0;
+  sv.amps[1] = std::sqrt(1.2);
+  sim.load_state(sv);
+  Circuit c(1);
+  c.measure(0, 0);
+  sim.run(c);
+  EXPECT_EQ(sim.cbits()[0], 1);
+  EXPECT_NEAR(std::abs(sim.state().amps[1]), std::sqrt(1.2), 1e-12);
+}
+
+TEST(Reset, ClampsDriftedProbabilityBeforeRenormalize) {
+  // Mirror of the measure clamp for reset's prob0 path.
+  SingleSim sim(1);
+  StateVector sv(1);
+  sv.amps[0] = std::sqrt(1.2);
+  sv.amps[1] = 0;
+  sim.load_state(sv);
+  Circuit c(1);
+  c.reset(0);
+  sim.run(c);
+  EXPECT_NEAR(std::abs(sim.state().amps[0]), std::sqrt(1.2), 1e-12);
+}
+
 } // namespace
 } // namespace svsim

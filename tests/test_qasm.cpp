@@ -210,5 +210,49 @@ x b[0];
   EXPECT_EQ(c.gates()[1].qb0, 2);
 }
 
+// --- regressions found by the differential/fuzzing campaign ---
+
+TEST(Parser, RejectsDuplicateRegisterNames) {
+  // Previously the second declaration silently overwrote the first's
+  // offset while its size still counted toward the circuit width, so
+  // `q[0]` in the program below aliased qubit 2 of a 5-qubit circuit.
+  EXPECT_THROW(parse_qasm("qreg q[2];\nqreg q[3];\nh q[0];"), ParseError);
+  EXPECT_THROW(parse_qasm("qreg q[2];\ncreg c[2];\ncreg c[2];"), ParseError);
+  // qregs and cregs share the OpenQASM identifier namespace.
+  EXPECT_THROW(parse_qasm("qreg r[2];\ncreg r[2];"), ParseError);
+}
+
+TEST(Parser, RejectsNonPositiveRegisterSize) {
+  // `qreg q[0]` used to be accepted; a broadcast over it then indexed an
+  // empty register.
+  EXPECT_THROW(parse_qasm("qreg q[0];"), ParseError);
+  EXPECT_THROW(parse_qasm("qreg q[0];\nh q;"), ParseError);
+  EXPECT_THROW(parse_qasm("creg c[0];"), ParseError);
+}
+
+TEST(Parser, RejectsRegisterSizeOutsideIntegerRange) {
+  // A literal past 2^53 (or any absurd width) must be rejected before the
+  // double -> int cast, which would otherwise be undefined behaviour.
+  EXPECT_THROW(parse_qasm("qreg q[99999999999999999999];"), Error);
+  EXPECT_THROW(parse_qasm("qreg q[2];\ncreg c[99999999];\nh q[0];"), Error);
+}
+
+TEST(Parser, TruncatedDeclarationIsDiagnosedNotMisread) {
+  // The register pre-scan must not read arbitrary neighbouring tokens as
+  // the size when the declaration shape is broken: each of these must be
+  // rejected (a truncated declaration leaves no usable qreg), not crash.
+  EXPECT_THROW(parse_qasm("qreg q;"), Error);
+  EXPECT_THROW(parse_qasm("qreg q["), Error);
+  EXPECT_THROW(parse_qasm("qreg q[2"), Error);
+  EXPECT_THROW(parse_qasm("qreg"), Error);
+}
+
+TEST(Parser, HugeQubitIndexRejectedWithoutOverflow) {
+  EXPECT_THROW(parse_qasm("qreg q[2];\nh q[99999999999999999999];"), Error);
+  EXPECT_THROW(
+      parse_qasm("qreg q[2];\ncreg c[2];\nmeasure q[0] -> c[99999999999999999999];"),
+      Error);
+}
+
 } // namespace
 } // namespace svsim
