@@ -15,6 +15,7 @@
 #include "bench_util.hpp"
 #include "circuits/qasmbench.hpp"
 #include "common/timer.hpp"
+#include "core/peer_sim.hpp"
 #include "core/single_sim.hpp"
 
 namespace {
@@ -33,6 +34,21 @@ double time_circuit(const Circuit& circuit, int sched_window, int reps,
     sim.run(circuit);
     best = std::min(best, sim.last_report().wall_seconds * 1e3);
     if (out != nullptr) *out = sim.last_report();
+  }
+  return best;
+}
+
+/// Best-of-`reps` wall milliseconds for `circuit` on a fresh multi-PE
+/// PeerSim with wait-state attribution forced on (1) or off (0).
+double time_peer(const Circuit& circuit, int workers, int waitstats,
+                 int reps) {
+  double best = 1e300;
+  SimConfig cfg;
+  cfg.waitstats = waitstats;
+  for (int rep = 0; rep < reps; ++rep) {
+    PeerSim sim(circuit.n_qubits(), workers, cfg);
+    sim.run(circuit);
+    best = std::min(best, sim.last_report().wall_seconds * 1e3);
   }
   return best;
 }
@@ -76,5 +92,23 @@ int main() {
     t.add_row(b.name, row);
   }
   t.print("%12.3f");
+
+  // Wait-state attribution must be cheap enough to leave on by default:
+  // the same circuit on a 4-PE peer run with SVSIM_WAITSTATS semantics
+  // forced off vs on. regress_check.py treats *overhead* columns as
+  // absolute caps (--overhead-limit, default 2%), independent of the
+  // committed baseline value, so growth in the instrumentation itself
+  // fails the job even if both sides get uniformly slower.
+  svsim::bench::Table o("workload");
+  o.add_column("obs_off_ms");
+  o.add_column("obs_on_ms");
+  o.add_column("overhead_pct");
+  const Circuit& qft = benches[1].circuit;
+  const double off_ms = time_peer(qft, 4, 0, 5);
+  const double on_ms = time_peer(qft, 4, 1, 5);
+  o.add_row("qft_n16_peer4",
+            {off_ms, on_ms,
+             off_ms > 0 ? (on_ms / off_ms - 1.0) * 100.0 : 0.0});
+  o.print("%12.3f");
   return 0;
 }

@@ -20,8 +20,11 @@ Method:
     (run the bench k times in CI; the median rides out scheduler noise);
   * column direction comes from the name: "speedup" columns must not
     drop, count-like columns (windows/win_gates/passes_sv/bytes_*) are
-    compared exactly but only warn, everything else is treated as a
-    timing where lower is better;
+    compared exactly but only warn, "overhead" columns are absolute caps
+    (the fresh median must stay below --overhead-limit percent,
+    regardless of the baseline value — used by the bench_smoke obs-on vs
+    obs-off pair), everything else is treated as a timing where lower is
+    better;
   * the relative tolerance is --tolerance (default 0.30), overridable per
     table title with --table-tolerance 'TITLE=0.5'; timing cells below
     --min-ms (default 0.05) are skipped entirely — sub-tick timings are
@@ -42,10 +45,12 @@ COUNT_COLUMNS = {"windows", "win_gates", "passes_sv", "bytes_out", "bytes_in"}
 
 
 def direction(column):
-    """'lower' | 'higher' | 'count' for a column name."""
+    """'lower' | 'higher' | 'count' | 'cap' for a column name."""
     name = column.lower()
     if "speedup" in name:
         return "higher"
+    if "overhead" in name:
+        return "cap"
     if name in COUNT_COLUMNS:
         return "count"
     return "lower"
@@ -98,7 +103,7 @@ def check_meta(baseline, fresh_docs, allow_cross_machine, warnings):
 
 
 def compare(baseline, fresh_docs, tolerance, table_tolerances, min_ms,
-            allow_cross_machine):
+            allow_cross_machine, overhead_limit=2.0):
     """Returns (regressions, errors, warnings) comparing the baseline doc
     against the per-cell median of the fresh docs."""
     regressions = []
@@ -150,6 +155,15 @@ def compare(baseline, fresh_docs, tolerance, table_tolerances, min_ms,
                         warnings.append(f"{where}: count changed "
                                         f"{base:g} -> {fresh:g}")
                     continue
+                if d == "cap":
+                    # Absolute cap in percent: the baseline value is
+                    # informational only, so a uniformly slower machine
+                    # can't hide instrumentation growth.
+                    if fresh > overhead_limit:
+                        regressions.append(
+                            f"{where}: overhead {fresh:.2f}% exceeds the "
+                            f"{overhead_limit:g}% cap (baseline {base:.2f}%)")
+                    continue
                 if d == "lower":
                     if base < min_ms and fresh < min_ms:
                         continue  # sub-tick timing: pure noise
@@ -189,7 +203,8 @@ def make_fixture(baseline, factor):
 
 def self_test():
     """Synthetic check of the sentinel itself: 2% jitter must pass, an
-    injected 2x slowdown must flag."""
+    injected 2x slowdown must flag, and an overhead cell over the cap
+    must flag on its own."""
     baseline = {
         "schema": "svsim-bench-v2",
         "generated_unix": 0,
@@ -204,6 +219,13 @@ def self_test():
             "rows": [
                 {"label": "qft_n16", "values": [12.0, 4.0, 3.0, 7, 120, 100]},
                 {"label": "ghz_n16", "values": [1.5, 1.4, 1.07, 1, 16, 15]},
+            ],
+        }, {
+            "title": "Regression smoke",
+            "corner": "workload",
+            "columns": ["obs_off_ms", "obs_on_ms", "overhead_pct"],
+            "rows": [
+                {"label": "qft_n16_peer4", "values": [8.0, 8.05, 0.6]},
             ],
         }],
     }
@@ -243,7 +265,18 @@ def self_test():
     print(f"self-test: cross-machine baseline -> "
           f"{'refused' if ok_cpu else 'ACCEPTED (bug)'}")
 
-    return 0 if (ok_jitter and ok_slow and ok_cpu) else 1
+    # Overhead cap: 5% observability overhead must flag on its own even
+    # though the obs_off/obs_on timings themselves sit within tolerance.
+    heavy = copy.deepcopy(baseline)
+    heavy["tables"][1]["rows"][0]["values"] = [8.0, 8.4, 5.0]
+    regressions, errors, _ = compare(baseline, [("heavy.json", heavy)], 0.30,
+                                     {}, 0.05, allow_cross_machine=False,
+                                     overhead_limit=2.0)
+    ok_cap = any("overhead" in r for r in regressions) and not errors
+    print(f"self-test: 5% obs overhead vs 2% cap -> "
+          f"{'flagged' if ok_cap else 'MISSED (bug)'}")
+
+    return 0 if (ok_jitter and ok_slow and ok_cpu and ok_cap) else 1
 
 
 def parse_table_tolerance(spec):
@@ -269,6 +302,9 @@ def main(argv):
                    help="override the tolerance for one table title")
     p.add_argument("--min-ms", type=float, default=0.05,
                    help="skip timing cells below this (default 0.05)")
+    p.add_argument("--overhead-limit", type=float, default=2.0,
+                   help="absolute cap in percent for 'overhead' columns "
+                        "(default 2.0)")
     p.add_argument("--allow-cross-machine", action="store_true",
                    help="downgrade CPU-model mismatch to a warning")
     p.add_argument("--self-test", action="store_true",
@@ -301,7 +337,7 @@ def main(argv):
 
     regressions, errors, warnings = compare(
         baseline, fresh_docs, args.tolerance, tolerances, args.min_ms,
-        args.allow_cross_machine)
+        args.allow_cross_machine, args.overhead_limit)
 
     for w in warnings:
         print(f"warning: {w}")

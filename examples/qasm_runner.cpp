@@ -7,6 +7,11 @@
 //                            coarse|generalized] [--workers K] [--shots N]
 //                            [--profile trace.json] [--report]
 //                            [--report-json report.json] [--roofline]
+//                            [--metrics]
+//
+// --metrics dumps the process-global counter/histogram registry in
+// Prometheus text exposition format on stdout after the run — scrapeable
+// without parsing JSON.
 //
 // --profile (or the SVSIM_PROFILE=<path> environment variable) turns on
 // per-gate profiling: the run report breakdown is printed and a Chrome
@@ -33,6 +38,7 @@
 #include "common/bits.hpp"
 
 #include "common/timer.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "core/coarse_msg_sim.hpp"
 #include "core/generalized_sim.hpp"
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
   int workers = 4;
   IdxType shots = 1024;
   bool want_report = false;
+  bool want_metrics = false;
   std::string report_json_path;
   SimConfig cfg;
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +109,8 @@ int main(int argc, char** argv) {
       obs::Trace::global().set_path(argv[++i]);
     } else if (arg == "--report") {
       want_report = true;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
     } else if (arg == "--report-json" && i + 1 < argc) {
       report_json_path = argv[++i];
     } else if (arg == "--roofline") {
@@ -183,6 +192,11 @@ int main(int argc, char** argv) {
         std::printf("  ... (%zu more outcomes)\n", hist.size() - 16);
         break;
       }
+    }
+
+    if (want_metrics) {
+      std::printf("--- metrics (prometheus text format) ---\n%s",
+                  obs::Registry::global().write_prom().c_str());
     }
 
     if (report.health.enabled && report.health.tripped()) {

@@ -60,6 +60,15 @@ struct SimConfig {
   /// denied), and join both against the machine-model peak bandwidth in
   /// RunReport::roofline. SVSIM_ROOFLINE=1 also enables it.
   bool roofline = false;
+  /// Cross-PE wait-state attribution (obs/waitstate + obs/aggregate):
+  /// wrap every blocking synchronization primitive (barrier arrival,
+  /// collective reductions, block transfers, mailbox receives) in a wait
+  /// span and fold the per-PE timelines into RunReport::waitstate —
+  /// compute/comm/wait per PE, imbalance factor, straggler, distributed
+  /// critical path. -1 = auto (on for multi-PE backends; the instrumented
+  /// paths run at synchronization frequency, not per amplitude), 0 = off,
+  /// 1 = on. SVSIM_WAITSTATS=<0|1> overrides auto.
+  int waitstats = -1;
 };
 
 } // namespace svsim

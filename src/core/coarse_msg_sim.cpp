@@ -8,6 +8,7 @@
 #include "common/bits.hpp"
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/flight.hpp"
 #include "obs/health.hpp"
 #include "obs/registry.hpp"
@@ -43,6 +44,7 @@ public:
     std::uint64_t gate_id = 0;
     for (const Gate& g : gates) {
       ++gate_id;
+      obs::WaitTracker::set_phase(op_name(g.op));
       if (ring != nullptr) {
         obs::FlightEvent e;
         e.ts_us = obs::trace_now_us();
@@ -124,6 +126,9 @@ private:
 
   /// Root-based all-reduce: partials to rank 0, result broadcast back.
   ValType all_reduce_sum(ValType v) {
+    // One kReduction span per collective; the inner recv kTransfer
+    // scopes are nesting-suppressed.
+    obs::WaitScope wait(obs::WaitKind::kReduction);
     const int n = sim_->n_ranks_;
     if (n == 1) return v;
     if (rank_ == 0) {
@@ -516,8 +521,12 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
   obs::FlightRecorder* flight = flight_on(cfg_);
   if (flight != nullptr) flight->begin_run(name(), n_, n_ranks_);
 
+  std::unique_ptr<obs::WaitRecorder> wrec;
+  if (waitstats_on(cfg_)) wrec = std::make_unique<obs::WaitRecorder>(n_ranks_);
+
   auto rank_main = [&](int r) {
     set_log_pe(r);
+    obs::WaitBind bind(wrec.get(), r);
     Rank rank(this, r);
     rank.execute(circuit.gates(), rec.get(), health.get(), flight);
   };
@@ -532,6 +541,7 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
   set_log_pe(-1); // the calling thread ran rank 0
 
   if (rec) rec->finish(rep, name());
+  if (wrec) obs::fold_waitstate(rep, *wrec, name());
   if (health) health->finish(rep);
   if (flight != nullptr) set_flight_pending(n_ranks_);
   const MsgStats total = stats();

@@ -46,6 +46,9 @@ public:
   }
 
   std::vector<ValType> recv(int src) {
+    // Blocked two-sided receive: the coarse tier's dominant wait. One
+    // kTransfer span per message (inert when the thread isn't bound).
+    obs::WaitScope wait(obs::WaitKind::kTransfer);
     std::unique_lock<std::mutex> lock(mutex_);
     auto& q = queues_[static_cast<std::size_t>(src)];
     cv_.wait(lock, [&] { return !q.empty(); });

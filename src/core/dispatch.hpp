@@ -207,6 +207,7 @@ void simulation_kernel(const std::vector<DeviceGate<Space>>& circuit,
   std::uint64_t gate_id = 0;
   for (const DeviceGate<Space>& dg : circuit) {
     ++gate_id;
+    obs::WaitTracker::set_phase(op_name(dg.g.op));
     detail::flight_gate_event(ring, gate_id, dg.g);
     {
       obs::Span span(rec, static_cast<int>(me), dg.g.op);

@@ -544,6 +544,7 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
         const DeviceGate<Space>& dg =
             circuit[static_cast<std::size_t>(w.first_gate + k)];
         ++gate_id;
+        obs::WaitTracker::set_phase(op_name(dg.g.op));
         detail::flight_gate_event(ring, gate_id, dg.g);
         {
           obs::Span span(rec, static_cast<int>(me), dg.g.op);
@@ -568,6 +569,7 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
             circuit[static_cast<std::size_t>(w.first_gate + k)].g);
       }
     }
+    obs::WaitTracker::set_phase("window");
     const std::vector<WindowAction<Space>>& actions = ex.actions[wi];
     // Window-level trace span ("sched windows" track): the window is a
     // team-wide construct, so one worker records it for the whole team.

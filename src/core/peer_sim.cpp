@@ -7,6 +7,7 @@
 #include "common/timer.hpp"
 #include "core/kernels/blocked.hpp"
 #include "machine/model.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/counters.hpp"
 #include "obs/registry.hpp"
 #include "shmem/barrier.hpp"
@@ -88,8 +89,12 @@ void PeerSim::execute(const Circuit& circuit) {
       health ? health->every_n() : 0);
   if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
 
+  std::unique_ptr<obs::WaitRecorder> wrec;
+  if (waitstats_on(cfg_)) wrec = std::make_unique<obs::WaitRecorder>(n_dev_);
+
   auto device_main = [&](int d) {
     set_log_pe(d);
+    obs::WaitBind bind(wrec.get(), d);
     PeerSpace sp;
     sp.real_parts = real_ptrs_.data();
     sp.imag_parts = imag_ptrs_.data();
@@ -134,6 +139,7 @@ void PeerSim::execute(const Circuit& circuit) {
   set_log_pe(-1); // the calling thread ran device 0
 
   if (rec) rec->finish(rep, name());
+  if (wrec) obs::fold_waitstate(rep, *wrec, name());
   if (roofline) {
     obs::fold_roofline(rep, model, counters.sample(),
                        machine::host_peak_gbps(n_dev_), name(), loop_t0,

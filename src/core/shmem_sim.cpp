@@ -5,6 +5,7 @@
 #include "common/timer.hpp"
 #include "core/kernels/blocked.hpp"
 #include "machine/model.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/counters.hpp"
 #include "obs/registry.hpp"
 
@@ -97,11 +98,16 @@ void ShmemSim::execute(const Circuit& circuit) {
       roofline ? obs::model_run(circuit, sched.active ? &sched.sched : nullptr)
                : obs::RunModel{};
   obs::CounterSampler counters(roofline);
+  std::unique_ptr<obs::WaitRecorder> wrec;
+  if (waitstats_on(cfg_)) wrec = std::make_unique<obs::WaitRecorder>(n_pes_);
   const double loop_t0 = obs::trace_now_us();
   counters.start();
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
     runtime_.run([&](shmem::Ctx& ctx) {
+      // Bind only for the gate loop: the setup/reset jobs above run the
+      // same Barrier uninstrumented (no bound track on those threads).
+      obs::WaitBind bind(wrec.get(), ctx.pe());
       ShmemSpace sp;
       sp.ctx = &ctx;
       sp.real_sym = real_sym_[static_cast<std::size_t>(ctx.pe())];
@@ -121,6 +127,7 @@ void ShmemSim::execute(const Circuit& circuit) {
   counters.stop();
   last_traffic_ = runtime_.aggregate_traffic();
   if (rec) rec->finish(rep, name());
+  if (wrec) obs::fold_waitstate(rep, *wrec, name());
   if (roofline) {
     obs::fold_roofline(rep, model, counters.sample(),
                        machine::host_peak_gbps(n_pes_), name(), loop_t0,

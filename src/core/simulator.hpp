@@ -114,6 +114,17 @@ protected:
     return cfg.roofline;
   }
 
+  /// Per-run wait-state decision: SVSIM_WAITSTATS wins when set (1 on,
+  /// 0 force-off); then SimConfig::waitstats; -1 auto means on — the
+  /// instrumented paths run at synchronization frequency, so the spans
+  /// cost nothing measurable (bounded by bench_smoke's obs pair).
+  static bool waitstats_on(const SimConfig& cfg) {
+    const int env = obs::env_waitstats();
+    if (env >= 0) return env == 1;
+    if (cfg.waitstats >= 0) return cfg.waitstats == 1;
+    return true;
+  }
+
   /// A HealthMonitor for this run, or nullptr when monitoring is off
   /// (neither SimConfig::health_every_n nor SVSIM_HEALTH set).
   static std::unique_ptr<obs::HealthMonitor> make_health(const SimConfig& cfg) {

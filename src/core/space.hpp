@@ -130,6 +130,9 @@ struct PeerSpace {
   void sync() const { barrier->arrive_and_wait(); }
 
   ValType reduce_sum(ValType v) const {
+    // One kReduction wait span covering both barriers (inner kBarrier
+    // scopes are nesting-suppressed), mirroring shmem's all_gather.
+    obs::WaitScope wait(obs::WaitKind::kReduction);
     scratch[worker_id] = v;
     sync();
     ValType total = 0;

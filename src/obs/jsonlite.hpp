@@ -1,14 +1,22 @@
-// Minimal JSON validator (no value tree, no external deps).
+// Minimal JSON validator and value-tree parser (no external deps).
 //
 // Exists so the trace exporter, the bench JSON emitter, and the
 // profile-smoke ctest can assert "this file is well-formed JSON" without
 // pulling in a JSON library. Accepts exactly RFC 8259 grammar; on failure
-// reports the byte offset of the first error.
+// reports the byte offset of the first error. The Value tree (added for
+// tools/svsim_analyze, which must *read* reports, traces and ledger
+// lines, not just validate them) parses the same grammar into a small
+// tagged struct; the original validator remains the zero-allocation fast
+// path.
 #pragma once
 
 #include <cctype>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace svsim::obs::jsonlite {
 
@@ -136,6 +144,227 @@ inline bool parse_value(Cursor& c) {
 inline bool valid(const std::string& text, std::size_t* error_offset = nullptr) {
   detail::Cursor c{text};
   const bool ok = detail::parse_value(c);
+  c.skip_ws();
+  const bool done = ok && c.eof();
+  if (!done && error_offset != nullptr) *error_offset = c.i;
+  return done;
+}
+
+// ---------------------------------------------------------------------------
+// Value tree
+// ---------------------------------------------------------------------------
+
+/// One parsed JSON value. Object members keep document order (the report
+/// and ledger emitters write deterministic order, which keeps diffs and
+/// tests stable).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> items;                           // kArray
+  std::vector<std::pair<std::string, Value>> members; // kObject
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Typed getters with fallbacks (tolerant readers for additive schemas).
+  double num_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+  std::string str_or(const std::string& fallback) const {
+    return type == Type::kString ? str : fallback;
+  }
+  bool bool_or(bool fallback) const {
+    return type == Type::kBool ? boolean : fallback;
+  }
+  double member_num(const std::string& key, double fallback) const {
+    const Value* v = find(key);
+    return v != nullptr ? v->num_or(fallback) : fallback;
+  }
+  std::string member_str(const std::string& key,
+                         const std::string& fallback) const {
+    const Value* v = find(key);
+    return v != nullptr ? v->str_or(fallback) : fallback;
+  }
+};
+
+namespace detail {
+
+inline bool build_value(Cursor& c, Value* out);
+
+/// Append a Unicode code point as UTF-8.
+inline void append_utf8(std::string* s, std::uint32_t cp) {
+  if (cp < 0x80) {
+    s->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+inline bool hex4(Cursor& c, std::uint32_t* out) {
+  std::uint32_t v = 0;
+  for (int k = 0; k < 4; ++k) {
+    if (c.eof()) return false;
+    const char ch = c.s[c.i];
+    std::uint32_t d;
+    if (ch >= '0' && ch <= '9') {
+      d = static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      d = static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      d = static_cast<std::uint32_t>(ch - 'A' + 10);
+    } else {
+      return false;
+    }
+    v = v * 16 + d;
+    ++c.i;
+  }
+  *out = v;
+  return true;
+}
+
+inline bool build_string(Cursor& c, std::string* out) {
+  if (!c.consume('"')) return false;
+  out->clear();
+  while (!c.eof()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch != '\\') {
+      out->push_back(ch);
+      continue;
+    }
+    if (c.eof()) return false;
+    const char esc = c.s[c.i++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        std::uint32_t cp = 0;
+        if (!hex4(c, &cp)) return false;
+        if (cp >= 0xD800 && cp <= 0xDBFF && c.i + 1 < c.s.size() &&
+            c.s[c.i] == '\\' && c.s[c.i + 1] == 'u') {
+          // Surrogate pair.
+          const std::size_t save = c.i;
+          c.i += 2;
+          std::uint32_t lo = 0;
+          if (hex4(c, &lo) && lo >= 0xDC00 && lo <= 0xDFFF) {
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            c.i = save; // lone high surrogate: emit as-is
+          }
+        }
+        append_utf8(out, cp);
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false; // unterminated
+}
+
+inline bool build_object(Cursor& c, Value* out) {
+  if (!c.consume('{')) return false;
+  out->type = Value::Type::kObject;
+  c.skip_ws();
+  if (c.consume('}')) return true;
+  while (true) {
+    c.skip_ws();
+    std::string key;
+    if (!build_string(c, &key)) return false;
+    c.skip_ws();
+    if (!c.consume(':')) return false;
+    Value v;
+    if (!build_value(c, &v)) return false;
+    out->members.emplace_back(std::move(key), std::move(v));
+    c.skip_ws();
+    if (c.consume(',')) continue;
+    return c.consume('}');
+  }
+}
+
+inline bool build_array(Cursor& c, Value* out) {
+  if (!c.consume('[')) return false;
+  out->type = Value::Type::kArray;
+  c.skip_ws();
+  if (c.consume(']')) return true;
+  while (true) {
+    Value v;
+    if (!build_value(c, &v)) return false;
+    out->items.push_back(std::move(v));
+    c.skip_ws();
+    if (c.consume(',')) continue;
+    return c.consume(']');
+  }
+}
+
+inline bool build_value(Cursor& c, Value* out) {
+  c.skip_ws();
+  switch (c.peek()) {
+    case '{': return build_object(c, out);
+    case '[': return build_array(c, out);
+    case '"':
+      out->type = Value::Type::kString;
+      return build_string(c, &out->str);
+    case 't':
+      out->type = Value::Type::kBool;
+      out->boolean = true;
+      return c.consume_lit("true");
+    case 'f':
+      out->type = Value::Type::kBool;
+      out->boolean = false;
+      return c.consume_lit("false");
+    case 'n':
+      out->type = Value::Type::kNull;
+      return c.consume_lit("null");
+    default: {
+      const std::size_t start = c.i;
+      if (!parse_number(c)) return false;
+      out->type = Value::Type::kNumber;
+      out->number = std::strtod(c.s.substr(start, c.i - start).c_str(), nullptr);
+      return true;
+    }
+  }
+}
+
+} // namespace detail
+
+/// Parse one complete JSON value into a tree. Same grammar as valid();
+/// on failure *error_offset (if non-null) is the first bad byte.
+inline bool parse(const std::string& text, Value* out,
+                  std::size_t* error_offset = nullptr) {
+  *out = Value{};
+  detail::Cursor c{text};
+  const bool ok = detail::build_value(c, out);
   c.skip_ws();
   const bool done = ok && c.eof();
   if (!done && error_offset != nullptr) *error_offset = c.i;

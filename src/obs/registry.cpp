@@ -1,6 +1,7 @@
 #include "obs/registry.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace svsim::obs {
@@ -81,6 +82,52 @@ Registry::histogram_values() const {
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h->snapshot());
   return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map the registry's dotted
+/// names ("run_ms.single") onto underscores.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+} // namespace
+
+std::string Registry::write_prom() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counter_values()) {
+    const std::string m = "svsim_" + prom_name(name) + "_total";
+    os << "# TYPE " << m << " counter\n" << m << ' ' << v << '\n';
+  }
+  char buf[64];
+  for (const auto& [name, s] : histogram_values()) {
+    const std::string m = "svsim_" + prom_name(name) + "_seconds";
+    os << "# TYPE " << m << " histogram\n";
+    // Buckets are cumulative with `le` in seconds: registry bucket k
+    // holds samples in [2^k, 2^{k+1}) µs, so its upper edge is 2^{k+1}µs.
+    std::uint64_t cum = 0;
+    for (int k = 0; k < Histogram::kBuckets; ++k) {
+      const std::uint64_t n = s.buckets[static_cast<std::size_t>(k)];
+      cum += n;
+      if (n == 0 && k != 0) continue; // sparse: only emit occupied edges
+      std::snprintf(buf, sizeof(buf), "%.9g",
+                    std::ldexp(1.0, k + 1) * 1e-6);
+      os << m << "_bucket{le=\"" << buf << "\"} " << cum << '\n';
+    }
+    os << m << "_bucket{le=\"+Inf\"} " << s.count << '\n';
+    std::snprintf(buf, sizeof(buf), "%.9g", s.sum_us * 1e-6);
+    os << m << "_sum " << buf << '\n';
+    os << m << "_count " << s.count << '\n';
+  }
+  return os.str();
 }
 
 std::string Registry::summary() const {

@@ -106,6 +106,13 @@ public:
   /// Human-readable dump of all non-zero entries.
   std::string summary() const;
 
+  /// Prometheus text exposition (version 0.0.4) of every entry: counters
+  /// as `svsim_<name>_total`, histograms as `svsim_<name>_seconds`
+  /// cumulative-bucket histograms (le boundaries are the log2-µs bucket
+  /// upper edges, in seconds) — scrapeable without parsing JSON
+  /// (`qasm_runner --metrics`). Names are sanitized to [a-zA-Z0-9_].
+  std::string write_prom() const;
+
 private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

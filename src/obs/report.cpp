@@ -155,6 +155,7 @@ void tally_gates(RunReport& report, const Circuit& circuit) {
     ++report.by_op[static_cast<std::size_t>(g.op)].count;
     ++report.total_gates;
   }
+  report.circuit_hash = hash_circuit(circuit);
 }
 
 std::string RunReport::summary() const {
@@ -288,6 +289,33 @@ std::string RunReport::summary() const {
                       a.seconds * 1e3);
         os << buf;
       }
+    }
+  }
+
+  if (waitstate.enabled) {
+    os << waitstate.table();
+    std::snprintf(buf, sizeof(buf),
+                  "    imbalance %.2f (max/avg compute), straggler PE %d, "
+                  "wait fraction %.1f%%%s\n",
+                  waitstate.imbalance, waitstate.straggler,
+                  waitstate.wait_fraction * 100.0,
+                  waitstate.truncated ? " (spans truncated)" : "");
+    os << buf;
+    if (waitstate.critical_pe >= 0) {
+      double crit_ms = 0;
+      for (const WaitProfile::Critical& c : waitstate.critical) {
+        if (c.pe == waitstate.critical_pe &&
+            c.phase == waitstate.critical_phase) {
+          crit_ms = c.seconds * 1e3;
+          break;
+        }
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "    critical path: PE %d / %s bounds wall-clock "
+                    "(%.3f ms of %.3f ms phase time)\n",
+                    waitstate.critical_pe, waitstate.critical_phase.c_str(),
+                    crit_ms, waitstate.critical_s * 1e3);
+      os << buf;
     }
   }
 

@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "ir/fusion.hpp"
 #include "ir/op.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/flight.hpp"
 #include "shmem/shmem.hpp"
 
@@ -166,6 +167,9 @@ struct RunReport {
   std::uint64_t total_gates = 0;
   double wall_seconds = 0;
   bool profiled = false; // per-gate-kind timing collected?
+  /// FNV-1a digest of the executed circuit's shape (ops, qubits, angle
+  /// bits, width) — the run-ledger identity of "the same circuit".
+  std::uint64_t circuit_hash = 0;
 
   std::array<GateKindStats, static_cast<std::size_t>(kNumOps)> by_op{};
   FusionStats fusion; // zeros unless the circuit went through run_fused()
@@ -173,6 +177,7 @@ struct RunReport {
   HealthStats health;   // numerical-health tier (defaults when disabled)
   SchedulerStats sched; // gate-window scheduler (defaults when off)
   RooflineStats roofline; // roofline attribution (defaults when off)
+  WaitProfile waitstate; // cross-PE wait-state breakdown (defaults when off)
   TrafficMatrix matrix; // per-PE×PE traffic (distributed backends only)
   /// Flight-recorder events drained at the end of a successful run
   /// (empty when the recorder is disabled).

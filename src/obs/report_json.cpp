@@ -65,6 +65,10 @@ std::string to_json(const RunReport& report) {
   os << ",\"wall_seconds\":";
   append_double(os, report.wall_seconds);
   os << ",\"profiled\":" << (report.profiled ? "true" : "false");
+  os << ",\"circuit_hash\":";
+  append_escaped(os, hash_hex(report.circuit_hash));
+  os << ",\"cpu\":";
+  append_escaped(os, cpu_model());
 
   os << ",\"gates\":[";
   bool first = true;
@@ -185,6 +189,55 @@ std::string to_json(const RunReport& report) {
     append_double(os, a.gbps);
     os << ",\"attainment\":";
     append_double(os, a.attainment);
+    os << '}';
+  }
+  os << "]}";
+
+  const WaitProfile& ws = report.waitstate;
+  os << ",\"waitstate\":{\"enabled\":" << (ws.enabled ? "true" : "false")
+     << ",\"per_pe\":[";
+  for (std::size_t w = 0; w < ws.per_pe.size(); ++w) {
+    const WaitProfile::PerPe& pe = ws.per_pe[w];
+    if (w != 0) os << ',';
+    os << "{\"wall_s\":";
+    append_double(os, pe.wall_s);
+    os << ",\"compute_s\":";
+    append_double(os, pe.compute_s);
+    os << ",\"barrier_s\":";
+    append_double(os, pe.barrier_s);
+    os << ",\"reduction_s\":";
+    append_double(os, pe.reduction_s);
+    os << ",\"transfer_s\":";
+    append_double(os, pe.transfer_s);
+    os << ",\"wait_s\":";
+    append_double(os, pe.wait_s());
+    os << ",\"barrier_n\":";
+    append_u64(os, pe.barrier_n);
+    os << ",\"reduction_n\":";
+    append_u64(os, pe.reduction_n);
+    os << ",\"transfer_n\":";
+    append_u64(os, pe.transfer_n);
+    os << '}';
+  }
+  os << "],\"imbalance\":";
+  append_double(os, ws.imbalance);
+  os << ",\"straggler\":" << ws.straggler << ",\"wait_fraction\":";
+  append_double(os, ws.wait_fraction);
+  os << ",\"truncated\":" << (ws.truncated ? "true" : "false")
+     << ",\"critical_pe\":" << ws.critical_pe << ",\"critical_phase\":";
+  append_escaped(os, ws.critical_phase);
+  os << ",\"critical_s\":";
+  append_double(os, ws.critical_s);
+  os << ",\"critical\":[";
+  for (std::size_t i = 0; i < ws.critical.size(); ++i) {
+    const WaitProfile::Critical& c = ws.critical[i];
+    if (i != 0) os << ',';
+    os << "{\"pe\":" << c.pe << ",\"phase\":";
+    append_escaped(os, c.phase);
+    os << ",\"seconds\":";
+    append_double(os, c.seconds);
+    os << ",\"phases\":";
+    append_u64(os, c.phases);
     os << '}';
   }
   os << "]}";

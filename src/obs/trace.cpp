@@ -5,15 +5,9 @@
 #include <cstdlib>
 
 #include "obs/registry.hpp"
+#include "obs/waitstate.hpp"
 
 namespace svsim::obs {
-
-namespace {
-std::chrono::steady_clock::time_point trace_epoch() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return epoch;
-}
-} // namespace
 
 const std::string& env_profile_path() {
   static const std::string path = [] {
@@ -24,9 +18,10 @@ const std::string& env_profile_path() {
 }
 
 double trace_now_us() {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - trace_epoch())
-      .count();
+  // Shares the wait-state epoch so gate spans and wait spans land on one
+  // timeline (obs/waitstate.hpp owns the inline epoch; shmem cannot link
+  // this library).
+  return wait_now_us();
 }
 
 Trace& Trace::global() {

@@ -14,6 +14,8 @@
 #include <functional>
 #include <mutex>
 
+#include "obs/waitstate.hpp"
+
 namespace svsim::shmem {
 
 class Barrier {
@@ -28,6 +30,11 @@ public:
   /// blocked — so it can safely mutate state every participant reads after
   /// release.
   void arrive_and_wait(const std::function<void()>& on_last = {}) {
+    // The whole arrival is the wait span: lock contention, the blocked
+    // cv.wait behind stragglers, and (on the last PE) the hook — all of
+    // it is time this PE is not computing. Inert unless the thread bound
+    // a WaitTrack; suppressed inside an enclosing collective's scope.
+    obs::WaitScope wait(obs::WaitKind::kBarrier);
     std::unique_lock<std::mutex> lock(mutex_);
     const std::uint64_t phase = phase_;
     if (++arrived_ == participants_) {

@@ -114,6 +114,9 @@ std::int64_t Ctx::all_reduce_sum_i64(std::int64_t v) {
 }
 
 std::vector<ValType> Ctx::all_gather(ValType v) {
+  // One kReduction span for the whole collective; the three inner
+  // barriers' kBarrier scopes are suppressed by nesting.
+  obs::WaitScope wait(obs::WaitKind::kReduction);
   Runtime* rt = rt_;
   // The gather table is rebuilt per call: the last PE to arrive at the
   // first barrier sizes it; each PE writes its slot; the second barrier

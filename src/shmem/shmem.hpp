@@ -108,9 +108,12 @@ public:
   }
 
   /// Block get: copy `count` elements from target PE's `src` into local
-  /// (non-symmetric) `dst`.
+  /// (non-symmetric) `dst`. The copy is a kTransfer wait span (block
+  /// transfers run at synchronization frequency; the scalar g/p above are
+  /// per-amplitude and deliberately uninstrumented).
   template <typename T>
   void get(T* dst, const T* src_sym, std::size_t count, int target_pe) {
+    obs::WaitScope wait(obs::WaitKind::kTransfer);
     count_get(target_pe, count * sizeof(T));
     const T* remote = translate(src_sym, target_pe);
     for (std::size_t i = 0; i < count; ++i) dst[i] = remote[i];
@@ -119,6 +122,7 @@ public:
   /// Block put: copy `count` local elements into target PE's `dst`.
   template <typename T>
   void put(T* dst_sym, const T* src, std::size_t count, int target_pe) {
+    obs::WaitScope wait(obs::WaitKind::kTransfer);
     count_put(target_pe, count * sizeof(T));
     T* remote = translate(dst_sym, target_pe);
     for (std::size_t i = 0; i < count; ++i) remote[i] = src[i];
@@ -144,6 +148,7 @@ public:
   /// `root`'s copy into every PE's copy. Collective.
   template <typename T>
   void broadcast(T* sym, std::size_t count, int root) {
+    obs::WaitScope wait(obs::WaitKind::kTransfer); // one span, inner suppressed
     barrier_all(); // root's data must be complete
     if (pe_ != root) get(sym, sym, count, root);
     barrier_all();

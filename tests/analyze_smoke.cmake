@@ -1,0 +1,163 @@
+# analyze-smoke: end-to-end check of the scale-out telemetry path.
+#
+# Runs the QFT example on the shmem and peer backends (4 PEs each, traced),
+# validates both svsim-report-v1 documents with trace_check --report and
+# asserts the new waitstate section is present, then drives
+# tools/svsim_analyze over them: breakdown + heatmap, run-ledger growth to
+# two lines, a cross-run --compare, a corrupted-ledger-line negative
+# control (must exit 3), and a --merge-trace whose output trace_check
+# accepts. Driven from tests/CMakeLists.txt via:
+#   cmake -DRUNNER=... -DANALYZE=... -DTRACE_CHECK=... -DQASM=...
+#         -DWORK_DIR=... -P analyze_smoke.cmake
+
+foreach(var RUNNER ANALYZE TRACE_CHECK QASM WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "analyze_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(LEDGER "${WORK_DIR}/analyze_smoke_ledger.jsonl")
+file(REMOVE "${LEDGER}")
+
+# --- 1. one traced, reported run per distributed backend -------------------
+foreach(backend shmem peer)
+  set(REPORT "${WORK_DIR}/analyze_smoke_${backend}.json")
+  set(TRACE "${WORK_DIR}/analyze_smoke_${backend}.trace.json")
+  file(REMOVE "${REPORT}" "${TRACE}")
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env SVSIM_WAITSTATS=1 SVSIM_HEALTH=1
+            "${RUNNER}" "${QASM}" --backend ${backend} --workers 4
+            --profile "${TRACE}" --report-json "${REPORT}" --shots 32
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "analyze_smoke: ${backend} run failed (rc=${run_rc})\n"
+            "stdout:\n${run_out}\nstderr:\n${run_err}")
+  endif()
+
+  # The summary must already surface the breakdown and the critical path.
+  if(NOT run_out MATCHES "wait-state per PE")
+    message(FATAL_ERROR
+            "analyze_smoke: ${backend} summary lacks the wait-state table\n"
+            "${run_out}")
+  endif()
+  if(NOT run_out MATCHES "critical path: PE")
+    message(FATAL_ERROR
+            "analyze_smoke: ${backend} summary lacks a critical path line\n"
+            "${run_out}")
+  endif()
+
+  # Schema check plus the additive waitstate fields.
+  execute_process(
+    COMMAND "${TRACE_CHECK}" --report "${REPORT}"
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+  if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR "analyze_smoke: ${backend} report invalid "
+            "(rc=${check_rc})\n${check_out}${check_err}")
+  endif()
+  file(READ "${REPORT}" report_text)
+  foreach(field "\"waitstate\":{\"enabled\":true" "\"imbalance\":"
+          "\"critical_pe\":" "\"circuit_hash\":")
+    if(NOT report_text MATCHES "${field}")
+      message(FATAL_ERROR
+              "analyze_smoke: ${backend} report lacks ${field}")
+    endif()
+  endforeach()
+
+  # --- 2. breakdown + ledger append through svsim_analyze ------------------
+  execute_process(
+    COMMAND "${ANALYZE}" --ledger "${LEDGER}" "${REPORT}"
+    RESULT_VARIABLE an_rc
+    OUTPUT_VARIABLE an_out
+    ERROR_VARIABLE an_err)
+  if(NOT an_rc EQUAL 0)
+    message(FATAL_ERROR "analyze_smoke: ledger append for ${backend} failed "
+            "(rc=${an_rc})\n${an_out}${an_err}")
+  endif()
+  execute_process(
+    COMMAND "${ANALYZE}" "${REPORT}"
+    RESULT_VARIABLE an_rc
+    OUTPUT_VARIABLE an_out
+    ERROR_VARIABLE an_err)
+  if(NOT an_rc EQUAL 0 OR NOT an_out MATCHES "wait-state per PE"
+     OR NOT an_out MATCHES "imbalance ")
+    message(FATAL_ERROR "analyze_smoke: breakdown for ${backend} failed "
+            "(rc=${an_rc})\n${an_out}${an_err}")
+  endif()
+endforeach()
+
+# --- 3. ledger grew to exactly one line per run, all schema-stamped --------
+file(STRINGS "${LEDGER}" ledger_lines)
+list(LENGTH ledger_lines n_lines)
+if(NOT n_lines EQUAL 2)
+  message(FATAL_ERROR
+          "analyze_smoke: ledger has ${n_lines} lines, expected 2")
+endif()
+foreach(line IN LISTS ledger_lines)
+  if(NOT line MATCHES "svsim-ledger-v1")
+    message(FATAL_ERROR "analyze_smoke: unstamped ledger line: ${line}")
+  endif()
+endforeach()
+
+# --- 4. cross-run compare over the ledger ----------------------------------
+execute_process(
+  COMMAND "${ANALYZE}" --compare --ledger "${LEDGER}"
+  RESULT_VARIABLE cmp_rc
+  OUTPUT_VARIABLE cmp_out
+  ERROR_VARIABLE cmp_err)
+if(NOT cmp_rc EQUAL 0 OR NOT cmp_out MATCHES ":shmem:w4:"
+   OR NOT cmp_out MATCHES ":peer:w4:")
+  message(FATAL_ERROR "analyze_smoke: --compare failed (rc=${cmp_rc})\n"
+          "${cmp_out}${cmp_err}")
+endif()
+
+# --- 5. negative control: a corrupted line must exit 3 ---------------------
+file(APPEND "${LEDGER}" "{this is not a ledger line\n")
+execute_process(
+  COMMAND "${ANALYZE}" --compare --ledger "${LEDGER}"
+  RESULT_VARIABLE bad_rc
+  OUTPUT_VARIABLE bad_out
+  ERROR_VARIABLE bad_err)
+if(NOT bad_rc EQUAL 3)
+  message(FATAL_ERROR "analyze_smoke: corrupted ledger line exited "
+          "${bad_rc}, expected 3\n${bad_out}${bad_err}")
+endif()
+if(NOT bad_err MATCHES "corrupted ledger line")
+  message(FATAL_ERROR "analyze_smoke: corrupt-line diagnostic missing\n"
+          "${bad_err}")
+endif()
+
+# --- 6. merge the two per-process traces, revalidate -----------------------
+set(MERGED "${WORK_DIR}/analyze_smoke_merged.json")
+file(REMOVE "${MERGED}")
+execute_process(
+  COMMAND "${ANALYZE}" --merge-trace "${MERGED}"
+          "${WORK_DIR}/analyze_smoke_shmem.trace.json"
+          "${WORK_DIR}/analyze_smoke_peer.trace.json"
+  RESULT_VARIABLE mg_rc
+  OUTPUT_VARIABLE mg_out
+  ERROR_VARIABLE mg_err)
+if(NOT mg_rc EQUAL 0)
+  message(FATAL_ERROR "analyze_smoke: --merge-trace failed (rc=${mg_rc})\n"
+          "${mg_out}${mg_err}")
+endif()
+execute_process(
+  COMMAND "${TRACE_CHECK}" "${MERGED}"
+  RESULT_VARIABLE mv_rc
+  OUTPUT_VARIABLE mv_out
+  ERROR_VARIABLE mv_err)
+if(NOT mv_rc EQUAL 0)
+  message(FATAL_ERROR "analyze_smoke: merged trace invalid (rc=${mv_rc})\n"
+          "${mv_out}${mv_err}")
+endif()
+file(READ "${MERGED}" merged_text)
+if(NOT merged_text MATCHES "\"cat\":\"wait\"")
+  message(FATAL_ERROR "analyze_smoke: merged trace has no wait spans")
+endif()
+
+message(STATUS "analyze_smoke: OK (reports, ledger x2, compare, corrupt->3, "
+        "merged trace)")
