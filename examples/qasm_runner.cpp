@@ -7,11 +7,20 @@
 //                            coarse|generalized] [--workers K] [--shots N]
 //                            [--profile trace.json] [--report]
 //                            [--report-json report.json] [--roofline]
-//                            [--metrics]
+//                            [--metrics] [--serve PORT]
 //
 // --metrics dumps the process-global counter/histogram registry in
 // Prometheus text exposition format on stdout after the run — scrapeable
 // without parsing JSON.
+//
+// --serve <port> (or SVSIM_HTTP=<port>) starts the embedded telemetry
+// endpoint on 127.0.0.1:<port> (0 = ephemeral; the chosen port is
+// printed). While the run is live, GET /progress answers with the
+// model-calibrated progress/ETA document, /metrics with the Prometheus
+// registry, /healthz with the numerical-health status (503 when
+// tripped), and /report with the last complete — or partial — run
+// report. Set SVSIM_SERVE_LINGER_MS to keep serving that long after the
+// run finishes (for scrapers that poll on an interval).
 //
 // --profile (or the SVSIM_PROFILE=<path> environment variable) turns on
 // per-gate profiling: the run report breakdown is printed and a Chrome
@@ -29,7 +38,9 @@
 // amplitudes, norm-drift warnings, or an abort — the process exits with
 // status 2 so CI can gate on numerical health.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -38,6 +49,8 @@
 #include "common/bits.hpp"
 
 #include "common/timer.hpp"
+#include "obs/flight.hpp"
+#include "obs/httpd.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "core/coarse_msg_sim.hpp"
@@ -113,6 +126,8 @@ int main(int argc, char** argv) {
       want_metrics = true;
     } else if (arg == "--report-json" && i + 1 < argc) {
       report_json_path = argv[++i];
+    } else if (arg == "--serve" && i + 1 < argc) {
+      cfg.http_port = std::atoi(argv[++i]);
     } else if (arg == "--roofline") {
       // Alias into the report path: roofline attribution plus per-gate
       // profiling (the worst-attainment table needs per-op seconds).
@@ -128,6 +143,21 @@ int main(int argc, char** argv) {
   if (want_report || !report_json_path.empty()) cfg.roofline = true;
   // SVSIM_PROFILE=<path> alone also enables profiling (handled inside the
   // backends); cfg.profile just mirrors the explicit flag.
+
+  // Start the telemetry endpoint before the run so a monitor can attach
+  // from t=0 and so the resolved port is printed even for --serve 0.
+  // The backend would start it lazily anyway; doing it here only moves
+  // the bind earlier.
+  if (obs::maybe_start_httpd(cfg.http_port) && obs::Httpd::global().running()) {
+    std::printf("serving telemetry on http://127.0.0.1:%d "
+                "(/metrics /healthz /progress /report)\n",
+                obs::Httpd::global().port());
+  }
+  // A SIGINT/SIGTERM flush should land next to the report the user asked
+  // for, not on stderr.
+  if (!report_json_path.empty()) {
+    obs::set_interrupt_report_path((report_json_path + ".partial").c_str());
+  }
 
   try {
     const Circuit circuit = file.empty()
@@ -197,6 +227,25 @@ int main(int argc, char** argv) {
     if (want_metrics) {
       std::printf("--- metrics (prometheus text format) ---\n%s",
                   obs::Registry::global().write_prom().c_str());
+    }
+
+    // Keep answering scrapes briefly after the run when asked to: a
+    // poller on an interval would otherwise miss the final state of a
+    // short run entirely.
+    if (obs::Httpd::global().running()) {
+      const char* linger = std::getenv("SVSIM_SERVE_LINGER_MS");
+      const int linger_ms = linger != nullptr ? std::atoi(linger) : 0;
+      if (linger_ms > 0) {
+        std::printf("serving for %d ms more (SVSIM_SERVE_LINGER_MS)\n",
+                    linger_ms);
+        Timer linger_timer;
+        while (linger_timer.millis() < linger_ms) {
+          // Sleep in small slices so Ctrl-C stays responsive.
+          struct timespec ts{0, 50 * 1000 * 1000};
+          nanosleep(&ts, nullptr);
+        }
+      }
+      obs::Httpd::global().stop();
     }
 
     if (report.health.enabled && report.health.tripped()) {

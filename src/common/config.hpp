@@ -69,6 +69,12 @@ struct SimConfig {
   /// paths run at synchronization frequency, not per amplitude), 0 = off,
   /// 1 = on. SVSIM_WAITSTATS=<0|1> overrides auto.
   int waitstats = -1;
+  /// Embedded telemetry endpoint (obs/httpd + obs/progress): bind
+  /// 127.0.0.1:<port> (0 = kernel-assigned) and serve GET /metrics,
+  /// /healthz, /progress, /report while the process runs; also turns on
+  /// the lock-free per-PE progress publishers and the perfmodel-based
+  /// ETA. -1 = off unless SVSIM_HTTP=<port> is set in the environment.
+  int http_port = -1;
 };
 
 } // namespace svsim

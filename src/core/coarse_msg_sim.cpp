@@ -11,6 +11,7 @@
 #include "obs/aggregate.hpp"
 #include "obs/flight.hpp"
 #include "obs/health.hpp"
+#include "obs/progress.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -34,8 +35,10 @@ public:
   }
 
   void execute(const std::vector<Gate>& gates, obs::GateRecorder* rec,
-               obs::HealthMonitor* health, obs::FlightRecorder* flight) {
+               obs::HealthMonitor* health, obs::FlightRecorder* flight,
+               obs::ProgressSlot* pslot) {
     obs::FlightRing* ring = flight != nullptr ? flight->ring(rank_) : nullptr;
+    obs::ProgressScope pscope(pslot); // live wait column via WaitScope
     const std::uint64_t every =
         health != nullptr && health->every_n() > 0
             ? static_cast<std::uint64_t>(health->every_n())
@@ -69,6 +72,13 @@ public:
               apply_2q(g);
             }
         }
+      }
+      if (pslot != nullptr) {
+        // Every non-barrier gate walks this rank's whole partition.
+        pslot->publish_gate(gate_id,
+                            g.op == OP::BARRIER
+                                ? 0
+                                : static_cast<std::uint64_t>(per_));
       }
       if (every != 0 && (gate_id % every == 0 || gate_id == n_gates)) {
         double norm2 = 0;
@@ -524,11 +534,17 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
   std::unique_ptr<obs::WaitRecorder> wrec;
   if (waitstats_on(cfg_)) wrec = std::make_unique<obs::WaitRecorder>(n_ranks_);
 
+  obs::ProgressBoard* progress = progress_on(cfg_);
+  if (progress != nullptr) {
+    progress->begin_run(name(), n_, n_ranks_, circuit, nullptr);
+  }
+
   auto rank_main = [&](int r) {
     set_log_pe(r);
     obs::WaitBind bind(wrec.get(), r);
     Rank rank(this, r);
-    rank.execute(circuit.gates(), rec.get(), health.get(), flight);
+    rank.execute(circuit.gates(), rec.get(), health.get(), flight,
+                 progress != nullptr ? progress->slot(r) : nullptr);
   };
   {
     Timer::ScopedAccum wall(rep.wall_seconds);
@@ -558,6 +574,7 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
                        static_cast<std::size_t>(d)] = row[static_cast<std::size_t>(d)];
     }
   }
+  if (progress != nullptr) progress->end_run(obs::to_json(rep));
 }
 
 void CoarseMsgSim::run(const Circuit& circuit) {

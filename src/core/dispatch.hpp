@@ -26,6 +26,7 @@
 #include "ir/circuit.hpp"
 #include "obs/flight.hpp"
 #include "obs/health.hpp"
+#include "obs/progress.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
@@ -172,6 +173,12 @@ inline bool health_checkpoint(const Space& sp, obs::HealthMonitor* health,
   return health->should_abort(g_norm2, g_bad);
 }
 
+/// Amplitudes one work item of `g` touches (progress accounting).
+inline std::uint64_t amps_per_work_item(const Gate& g) {
+  if (g.op == OP::MA) return 1; // measure_all iterates amplitudes
+  return g.qb1 >= 0 ? 4 : 2;    // quadruples vs pairs
+}
+
 } // namespace detail
 
 /// The single simulation kernel (Listing 1 lines 21-26 / Listing 5): every
@@ -189,16 +196,23 @@ inline bool health_checkpoint(const Space& sp, obs::HealthMonitor* health,
 /// same pure abort predicate on the reduced values: an escalated abort
 /// breaks all gate loops together, with no worker left waiting at a
 /// barrier. A FlightRecorder, when enabled, gets one event per gate on
-/// this worker's ring (a few plain stores).
+/// this worker's ring (a few plain stores). A ProgressBoard, when
+/// enabled, gets one relaxed store + one uncontended fetch_add per gate
+/// on this worker's cacheline-private slot — /progress readers snapshot
+/// those without ever stalling the loop.
 template <class Space>
 void simulation_kernel(const std::vector<DeviceGate<Space>>& circuit,
                        const Space& sp, obs::GateRecorder* rec = nullptr,
                        obs::HealthMonitor* health = nullptr,
-                       obs::FlightRecorder* flight = nullptr) {
+                       obs::FlightRecorder* flight = nullptr,
+                       obs::ProgressBoard* progress = nullptr) {
   const IdxType nw = sp.n_workers();
   const IdxType me = sp.worker();
   obs::FlightRing* ring =
       flight != nullptr ? flight->ring(static_cast<int>(me)) : nullptr;
+  obs::ProgressSlot* pslot =
+      progress != nullptr ? progress->slot(static_cast<int>(me)) : nullptr;
+  obs::ProgressScope pscope(pslot); // live wait column via WaitScope
   const std::uint64_t every =
       health != nullptr && health->every_n() > 0
           ? static_cast<std::uint64_t>(health->every_n())
@@ -216,6 +230,11 @@ void simulation_kernel(const std::vector<DeviceGate<Space>>& circuit,
       const IdxType end = begin + per < dg.work ? begin + per : dg.work;
       dg.fn(dg.g, sp, begin, end);
       sp.sync();
+      if (pslot != nullptr) {
+        pslot->publish_gate(gate_id,
+                            static_cast<std::uint64_t>(end - begin) *
+                                detail::amps_per_work_item(dg.g));
+      }
     }
     if (every != 0 && (gate_id % every == 0 || gate_id == n_gates)) {
       if (detail::health_checkpoint(sp, health, ring, gate_id)) break;

@@ -520,12 +520,16 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
                              const Space& sp,
                              obs::GateRecorder* rec = nullptr,
                              obs::HealthMonitor* health = nullptr,
-                             obs::FlightRecorder* flight = nullptr) {
+                             obs::FlightRecorder* flight = nullptr,
+                             obs::ProgressBoard* progress = nullptr) {
   using kernels::WindowAction;
   const IdxType nw = sp.n_workers();
   const IdxType me = sp.worker();
   obs::FlightRing* ring =
       flight != nullptr ? flight->ring(static_cast<int>(me)) : nullptr;
+  obs::ProgressSlot* pslot =
+      progress != nullptr ? progress->slot(static_cast<int>(me)) : nullptr;
+  obs::ProgressScope pscope(pslot);
   const std::uint64_t every =
       health != nullptr && health->every_n() > 0
           ? static_cast<std::uint64_t>(health->every_n())
@@ -538,6 +542,9 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
   std::uint64_t gate_id = 0;
   for (std::size_t wi = 0; wi < ex.sched.windows.size(); ++wi) {
     const Window& w = ex.sched.windows[wi];
+    if (pslot != nullptr) {
+      pslot->publish_window(static_cast<std::uint64_t>(wi));
+    }
     if (!w.blocked) {
       // Classic per-gate execution (same body as simulation_kernel).
       for (IdxType k = 0; k < w.n_gates; ++k) {
@@ -553,6 +560,11 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
           const IdxType end = begin + per < dg.work ? begin + per : dg.work;
           dg.fn(dg.g, sp, begin, end);
           sp.sync();
+          if (pslot != nullptr) {
+            pslot->publish_gate(gate_id,
+                                static_cast<std::uint64_t>(end - begin) *
+                                    detail::amps_per_work_item(dg.g));
+          }
         }
         if (every != 0 && (gate_id % every == 0 || gate_id == n_gates)) {
           if (detail::health_checkpoint(sp, health, ring, gate_id)) return;
@@ -575,6 +587,7 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
     // team-wide construct, so one worker records it for the whole team.
     const bool win_trace = rec != nullptr && rec->collect_trace() && me == 0;
     const double win_t0 = win_trace ? obs::trace_now_us() : 0;
+    const std::uint64_t win_start_gate = gate_id;
     for (IdxType blk = first_blk; blk < first_blk + blocks_per_worker;
          ++blk) {
       const IdxType base = blk << b;
@@ -589,6 +602,22 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
           kernels::blocked_detail::apply_diag_run(sp, a, base, b);
         }
       }
+      if (pslot != nullptr) {
+        // Interpolate progress through the window: after this block the
+        // sweep is (blk+1-first)/blocks done, so publish the gate id at
+        // that fraction of the window (the last block lands exactly on
+        // win_start + n_gates). Without this a large blocked window — a
+        // single sweep that can run for minutes at scale — would freeze
+        // the published fraction (and inflate the ETA) for its whole
+        // duration. One relaxed store + one uncontended fetch_add per
+        // 2^b-amplitude block of real work: noise.
+        const std::uint64_t done_blocks =
+            static_cast<std::uint64_t>(blk - first_blk + 1);
+        pslot->publish_gate(
+            win_start_gate + static_cast<std::uint64_t>(w.n_gates) *
+                                 done_blocks / blocks_per_worker,
+            static_cast<std::uint64_t>(pow2(b)));
+      }
     }
     sp.sync();
     if (win_trace) {
@@ -599,6 +628,9 @@ void simulation_kernel_sched(const std::vector<DeviceGate<Space>>& circuit,
     }
     const std::uint64_t prev = gate_id;
     gate_id += static_cast<std::uint64_t>(w.n_gates);
+    // No publish needed here: the last block's interpolated publish above
+    // already landed exactly on `gate_id`, with the window's one sweep
+    // (local_count amplitudes) accumulated block by block.
     // The cadence is evaluated at window granularity: one checkpoint when
     // the window crosses a multiple of `every` (or ends the circuit).
     if (every != 0 && (gate_id / every > prev / every || gate_id == n_gates)) {

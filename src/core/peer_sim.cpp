@@ -92,6 +92,12 @@ void PeerSim::execute(const Circuit& circuit) {
   std::unique_ptr<obs::WaitRecorder> wrec;
   if (waitstats_on(cfg_)) wrec = std::make_unique<obs::WaitRecorder>(n_dev_);
 
+  obs::ProgressBoard* progress = progress_on(cfg_);
+  if (progress != nullptr) {
+    progress->begin_run(name(), n_, n_dev_, circuit,
+                        sched.active ? &sched.sched : nullptr);
+  }
+
   auto device_main = [&](int d) {
     set_log_pe(d);
     obs::WaitBind bind(wrec.get(), d);
@@ -110,9 +116,10 @@ void PeerSim::execute(const Circuit& circuit) {
                                     : nullptr;
     if (sched.active) {
       simulation_kernel_sched(device_circuit, sched, sp, rec.get(),
-                              health.get(), flight);
+                              health.get(), flight, progress);
     } else {
-      simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
+      simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight,
+                        progress);
     }
   };
 
@@ -157,6 +164,7 @@ void PeerSim::execute(const Circuit& circuit) {
       rep.matrix.bytes[i] = dest_counts_[i] * sizeof(ValType);
     }
   }
+  if (progress != nullptr) progress->end_run(obs::to_json(rep));
 }
 
 void PeerSim::run(const Circuit& circuit) {

@@ -100,6 +100,11 @@ void ShmemSim::execute(const Circuit& circuit) {
   obs::CounterSampler counters(roofline);
   std::unique_ptr<obs::WaitRecorder> wrec;
   if (waitstats_on(cfg_)) wrec = std::make_unique<obs::WaitRecorder>(n_pes_);
+  obs::ProgressBoard* progress = progress_on(cfg_);
+  if (progress != nullptr) {
+    progress->begin_run(name(), n_, n_pes_, circuit,
+                        sched.active ? &sched.sched : nullptr);
+  }
   const double loop_t0 = obs::trace_now_us();
   counters.start();
   {
@@ -118,9 +123,10 @@ void ShmemSim::execute(const Circuit& circuit) {
       sp.rng = &rngs_[static_cast<std::size_t>(ctx.pe())];
       if (sched.active) {
         simulation_kernel_sched(device_circuit, sched, sp, rec.get(),
-                                health.get(), flight);
+                                health.get(), flight, progress);
       } else {
-        simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight);
+        simulation_kernel(device_circuit, sp, rec.get(), health.get(), flight,
+                          progress);
       }
     });
   }
@@ -138,6 +144,7 @@ void ShmemSim::execute(const Circuit& circuit) {
   rep.comm.add_shmem(last_traffic_);
   rep.matrix.n = n_pes_;
   rep.matrix.bytes = runtime_.traffic_matrix();
+  if (progress != nullptr) progress->end_run(obs::to_json(rep));
 }
 
 void ShmemSim::run(const Circuit& circuit) {

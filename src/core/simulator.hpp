@@ -17,7 +17,9 @@
 #include "ir/circuit.hpp"
 #include "ir/fusion.hpp"
 #include "obs/health.hpp"
+#include "obs/httpd.hpp"
 #include "obs/perfmodel.hpp"
+#include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -139,6 +141,16 @@ protected:
     if (!cfg.flight) return nullptr;
     obs::FlightRecorder& fr = obs::FlightRecorder::global();
     return fr.enabled() ? &fr : nullptr;
+  }
+
+  /// The live progress board, or nullptr when publishing is off. Also the
+  /// activation point for the embedded telemetry endpoint: the first call
+  /// with SimConfig::http_port >= 0 or SVSIM_HTTP set starts the global
+  /// httpd (which enables the board); SVSIM_PROGRESS=1 enables the board
+  /// without a server.
+  static obs::ProgressBoard* progress_on(const SimConfig& cfg) {
+    if (!obs::maybe_start_httpd(cfg.http_port)) return nullptr;
+    return &obs::ProgressBoard::global();
   }
 
   /// Record that this run's flight events should be drained into the

@@ -61,6 +61,11 @@ void SingleSim::run(const Circuit& circuit) {
   const obs::RunModel model =
       roofline ? obs::model_run(circuit, sched.active ? &sched.sched : nullptr)
                : obs::RunModel{};
+  obs::ProgressBoard* progress = progress_on(cfg_);
+  if (progress != nullptr) {
+    progress->begin_run(name(), n_, 1, circuit,
+                        sched.active ? &sched.sched : nullptr);
+  }
   obs::CounterSampler counters(roofline);
   const double loop_t0 = obs::trace_now_us();
   counters.start();
@@ -70,16 +75,18 @@ void SingleSim::run(const Circuit& circuit) {
       obs::GateRecorder rec(1, obs::Trace::global().enabled());
       if (sched.active) {
         simulation_kernel_sched(device_circuit, sched, sp, &rec, health.get(),
-                                flight);
+                                flight, progress);
       } else {
-        simulation_kernel(device_circuit, sp, &rec, health.get(), flight);
+        simulation_kernel(device_circuit, sp, &rec, health.get(), flight,
+                          progress);
       }
       rec.finish(rep, name());
     } else if (sched.active) {
       simulation_kernel_sched(device_circuit, sched, sp, nullptr, health.get(),
-                              flight);
+                              flight, progress);
     } else {
-      simulation_kernel(device_circuit, sp, nullptr, health.get(), flight);
+      simulation_kernel(device_circuit, sp, nullptr, health.get(), flight,
+                        progress);
     }
   }
   counters.stop();
@@ -90,6 +97,7 @@ void SingleSim::run(const Circuit& circuit) {
   }
   if (health) health->finish(rep);
   if (flight != nullptr) set_flight_pending(1);
+  if (progress != nullptr) progress->end_run(obs::to_json(rep));
 }
 
 StateVector SingleSim::state() const {

@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 
 namespace svsim::obs {
@@ -52,6 +54,7 @@ void FlightRecorder::begin_run(const char* backend, IdxType n_qubits,
                                int n_workers) {
   if (!enabled()) return;
   install_crash_handlers();
+  install_shutdown_handlers();
   std::snprintf(active_.backend, sizeof(active_.backend), "%s", backend);
   active_.n_qubits = static_cast<long long>(n_qubits);
   active_.n_workers = n_workers;
@@ -126,7 +129,59 @@ void terminate_hook() {
   std::abort();
 }
 
+char g_interrupt_path[512] = {0};
+
+/// Graceful Ctrl-C / kill: without this, the trace, report, and progress
+/// state die with the process. Everything on the hot path is
+/// async-signal-safe (atomic stores, snprintf into a stack buffer, raw
+/// open/write); the trace rewrite is best-effort behind a try_lock.
+void shutdown_signal_handler(int sig) {
+  ProgressBoard& board = ProgressBoard::global();
+  board.mark_interrupted();
+  char buf[4096];
+  const int len = board.render_json_signal_safe(buf, sizeof(buf));
+  int fd = 2;
+  bool opened = false;
+  if (g_interrupt_path[0] != '\0') {
+    const int pf = ::open(g_interrupt_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (pf >= 0) {
+      fd = pf;
+      opened = true;
+    }
+  }
+  if (!opened) {
+    raw_print(2, "[svsim] interrupted (%s); partial progress:\n",
+              sig == SIGINT ? "SIGINT" : "SIGTERM");
+  }
+  if (len > 0) {
+    const ssize_t ignored = ::write(fd, buf, static_cast<std::size_t>(len));
+    (void)ignored;
+  }
+  if (opened) ::close(fd);
+  Trace::global().try_write();
+  ::_exit(sig == SIGINT ? 130 : 143);
+}
+
 } // namespace
+
+void install_shutdown_handlers() {
+  static const bool installed = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &shutdown_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND; // a second signal terminates immediately
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+void set_interrupt_report_path(const char* path) {
+  std::snprintf(g_interrupt_path, sizeof(g_interrupt_path), "%s",
+                path != nullptr ? path : "");
+}
 
 void FlightRecorder::dump(int fd) const {
   raw_print(fd, "[svsim] run: backend=%s qubits=%lld workers=%d\n",

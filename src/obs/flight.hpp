@@ -123,4 +123,19 @@ private:
   FlightRing rings_[kMaxWorkers];
 };
 
+/// Install SIGINT/SIGTERM handlers for graceful shutdown: mark the live
+/// progress run `"interrupted": true`, write a partial svsim-progress-v1
+/// document (to the interrupt-report path when set, stderr otherwise),
+/// best-effort rewrite the Chrome trace (Trace::try_write), and _exit
+/// with the conventional status (130 for SIGINT, 143 for SIGTERM).
+/// SA_RESETHAND: a second Ctrl-C kills the process immediately.
+/// Idempotent; called by FlightRecorder::begin_run and the telemetry
+/// endpoint activation.
+void install_shutdown_handlers();
+
+/// File the interrupt flush writes its partial progress document to
+/// ("" = stderr). Must be called before the signal can arrive; the path
+/// is copied into static storage the handler can read without locking.
+void set_interrupt_report_path(const char* path);
+
 } // namespace svsim::obs

@@ -39,6 +39,38 @@ namespace svsim::obs {
 void scan_amplitudes(const ValType* re, const ValType* im, IdxType count,
                      double* norm2, std::uint64_t* non_finite);
 
+/// Process-global mirror of the most recent monitor's reduced results,
+/// published atomically from HealthMonitor::observe so the embedded
+/// httpd's /healthz endpoint (and anything else off the worker threads)
+/// can read liveness without reaching into a run's HealthMonitor.
+struct HealthSnapshot {
+  bool monitored = false; // a monitor has been constructed this process
+  std::uint64_t checks = 0;
+  std::uint64_t nan_checks = 0;
+  std::uint64_t warns = 0;
+  std::uint64_t non_finite = 0;
+  double last_norm2 = 1.0;
+  double max_drift = 0;
+  bool aborted = false;
+
+  /// Same predicate as HealthStats::tripped().
+  bool tripped() const {
+    return nan_checks != 0 || warns != 0 || aborted;
+  }
+};
+
+/// Read the global mirror (relaxed loads; fields are individually atomic,
+/// which is coherent enough for a liveness endpoint).
+HealthSnapshot health_snapshot();
+
+/// Reset the mirror and mark the process monitored. Called from the
+/// HealthMonitor constructor.
+void health_mirror_begin();
+
+/// Publish one checkpoint's accumulated stats into the mirror. Called
+/// from HealthMonitor::observe (worker 0 only — single writer).
+void health_mirror_publish(const HealthStats& stats);
+
 /// Checkpoint cadence from SVSIM_HEALTH (0 = unset/off). Read once.
 int env_health_every();
 
@@ -61,6 +93,7 @@ public:
   explicit HealthMonitor(Options opt) : opt_(opt) {
     stats_.enabled = true;
     stats_.every_n = opt.every_n;
+    health_mirror_begin();
   }
 
   int every_n() const { return opt_.every_n; }

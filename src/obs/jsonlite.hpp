@@ -22,9 +22,16 @@ namespace svsim::obs::jsonlite {
 
 namespace detail {
 
+/// Containers may nest at most this deep. The recursive-descent parser
+/// burns one C++ stack frame per level, so without a cap a hostile
+/// `[[[[...` input (a few KB of brackets) overflows the stack instead of
+/// returning false.
+constexpr int kMaxDepth = 96;
+
 struct Cursor {
   const std::string& s;
   std::size_t i = 0;
+  int depth = 0;
 
   bool eof() const { return i >= s.size(); }
   char peek() const { return eof() ? '\0' : s[i]; }
@@ -47,6 +54,16 @@ struct Cursor {
 };
 
 inline bool parse_value(Cursor& c);
+
+/// RAII nesting counter shared by the validator and the tree builder.
+struct DepthGuard {
+  Cursor& c;
+  explicit DepthGuard(Cursor& cur) : c(cur) { ++c.depth; }
+  ~DepthGuard() { --c.depth; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+  bool ok() const { return c.depth <= kMaxDepth; }
+};
 
 inline bool parse_string(Cursor& c) {
   if (!c.consume('"')) return false;
@@ -98,6 +115,8 @@ inline bool parse_number(Cursor& c) {
 
 inline bool parse_object(Cursor& c) {
   if (!c.consume('{')) return false;
+  const DepthGuard depth(c);
+  if (!depth.ok()) return false;
   c.skip_ws();
   if (c.consume('}')) return true;
   while (true) {
@@ -114,6 +133,8 @@ inline bool parse_object(Cursor& c) {
 
 inline bool parse_array(Cursor& c) {
   if (!c.consume('[')) return false;
+  const DepthGuard depth(c);
+  if (!depth.ok()) return false;
   c.skip_ws();
   if (c.consume(']')) return true;
   while (true) {
@@ -294,6 +315,8 @@ inline bool build_string(Cursor& c, std::string* out) {
 
 inline bool build_object(Cursor& c, Value* out) {
   if (!c.consume('{')) return false;
+  const DepthGuard depth(c);
+  if (!depth.ok()) return false;
   out->type = Value::Type::kObject;
   c.skip_ws();
   if (c.consume('}')) return true;
@@ -314,6 +337,8 @@ inline bool build_object(Cursor& c, Value* out) {
 
 inline bool build_array(Cursor& c, Value* out) {
   if (!c.consume('[')) return false;
+  const DepthGuard depth(c);
+  if (!depth.ok()) return false;
   out->type = Value::Type::kArray;
   c.skip_ws();
   if (c.consume(']')) return true;

@@ -1,0 +1,306 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "ir/circuit.hpp"
+#include "ir/schedule.hpp"
+#include "obs/perfmodel.hpp"
+#include "obs/waitstate.hpp"
+
+namespace svsim::obs {
+
+namespace {
+
+/// %.17g round-trips doubles; trim to a clean integer rendering when the
+/// value is one (mirrors report_json's conventions).
+void append_double(std::ostringstream& os, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  os << buf;
+}
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Per-gate cumulative predicted bytes: prefix[k] = model bytes of gates
+/// [0, k). Schedule-aware: a blocked window's member sweeps collapse into
+/// at most one full-state pass (the perfmodel's pricing), spread evenly
+/// over the window's gates so mid-window progress interpolates sanely.
+std::vector<double> build_bytes_prefix(const Circuit& circuit,
+                                       const Schedule* sched) {
+  const IdxType n = circuit.n_qubits();
+  const double sweep_bytes = 32.0 * static_cast<double>(pow2(n));
+  const auto& gates = circuit.gates();
+  std::vector<double> prefix(gates.size() + 1, 0.0);
+  const auto gate_bytes = [&](std::size_t k) {
+    return gate_cost(gates[k], n).bytes;
+  };
+  if (sched != nullptr && !sched->windows.empty()) {
+    std::size_t k = 0;
+    for (const Window& w : sched->windows) {
+      const auto count = static_cast<std::size_t>(w.n_gates);
+      if (!w.blocked) {
+        for (std::size_t j = 0; j < count; ++j, ++k) {
+          prefix[k + 1] = prefix[k] + gate_bytes(k);
+        }
+        continue;
+      }
+      double sum = 0;
+      for (std::size_t j = 0; j < count; ++j) sum += gate_bytes(k + j);
+      const double window_bytes = std::min(sum, sweep_bytes);
+      const double per = count != 0 ? window_bytes / static_cast<double>(count) : 0;
+      for (std::size_t j = 0; j < count; ++j, ++k) {
+        prefix[k + 1] = prefix[k] + per;
+      }
+    }
+    // A schedule covers every gate exactly once; fall through per-gate if
+    // a malformed one left a tail unpriced.
+    for (; k < gates.size(); ++k) prefix[k + 1] = prefix[k] + gate_bytes(k);
+  } else {
+    for (std::size_t k = 0; k < gates.size(); ++k) {
+      prefix[k + 1] = prefix[k] + gate_bytes(k);
+    }
+  }
+  return prefix;
+}
+
+} // namespace
+
+ProgressBoard& ProgressBoard::global() {
+  static ProgressBoard b;
+  return b;
+}
+
+void ProgressBoard::begin_run(const char* backend, IdxType n_qubits,
+                              int n_workers, const Circuit& circuit,
+                              const Schedule* sched) {
+  auto prefix = std::make_shared<const std::vector<double>>(
+      build_bytes_prefix(circuit, sched));
+  const double total_bytes = prefix->back();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    backend_ = backend;
+    n_qubits_ = static_cast<long long>(n_qubits);
+    n_workers_ = n_workers < kMaxPes ? n_workers : kMaxPes;
+    total_gates_ = static_cast<std::uint64_t>(circuit.n_gates());
+    start_us_ = wait_now_us();
+    end_us_ = 0;
+    bytes_prefix_ = std::move(prefix);
+    report_json_.clear();
+    have_run_ = true;
+  }
+  for (int w = 0; w < kMaxPes; ++w) slots_[w].reset();
+  std::snprintf(backend_mirror_, sizeof(backend_mirror_), "%s", backend);
+  total_gates_mirror_.store(static_cast<std::uint64_t>(circuit.n_gates()),
+                            std::memory_order_relaxed);
+  bytes_total_mirror_.store(total_bytes, std::memory_order_relaxed);
+  workers_mirror_.store(n_workers, std::memory_order_relaxed);
+  interrupted_.store(false, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_release);
+}
+
+void ProgressBoard::end_run(std::string report_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  end_us_ = wait_now_us();
+  report_json_ = std::move(report_json);
+  active_.store(false, std::memory_order_release);
+}
+
+ProgressSnapshot ProgressBoard::snapshot() const {
+  ProgressSnapshot s;
+  std::shared_ptr<const std::vector<double>> prefix;
+  double start_us = 0;
+  double end_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!have_run_) return s;
+    s.valid = true;
+    s.backend = backend_;
+    s.n_qubits = n_qubits_;
+    s.n_workers = n_workers_;
+    s.total_gates = total_gates_;
+    prefix = bytes_prefix_;
+    start_us = start_us_;
+    end_us = end_us_;
+  }
+  s.active = active_.load(std::memory_order_acquire);
+  s.interrupted = interrupted_.load(std::memory_order_relaxed);
+  s.bytes_total = prefix != nullptr && !prefix->empty() ? prefix->back() : 0;
+
+  std::uint64_t min_gates = s.total_gates;
+  std::uint64_t win = 0;
+  s.pes.resize(static_cast<std::size_t>(s.n_workers));
+  for (int w = 0; w < s.n_workers; ++w) {
+    const ProgressSlot& slot = slots_[w];
+    ProgressSnapshot::Pe& pe = s.pes[static_cast<std::size_t>(w)];
+    pe.gates_done = slot.gates_done.load(std::memory_order_relaxed);
+    pe.amps_done = slot.amps_done.load(std::memory_order_relaxed);
+    pe.wait_s =
+        static_cast<double>(slot.wait_us.load(std::memory_order_relaxed)) *
+        1e-6;
+    s.amps_done += static_cast<double>(pe.amps_done);
+    min_gates = std::min(min_gates, pe.gates_done);
+    win = std::max(win, slot.window.load(std::memory_order_relaxed));
+  }
+  s.window = win;
+  const double now_us = wait_now_us();
+  s.elapsed_s = ((s.active || end_us <= start_us ? now_us : end_us) -
+                 start_us) * 1e-6;
+  if (s.elapsed_s < 0) s.elapsed_s = 0;
+
+  if (!s.active) {
+    // Finished (or never started a gate): the run retired everything.
+    s.gates_done = s.total_gates;
+    s.bytes_done = s.bytes_total;
+    s.fraction = 1.0;
+    s.eta_known = true;
+    s.eta_s = 0;
+    s.gbps = s.elapsed_s > 0 ? s.bytes_total / s.elapsed_s * 1e-9 : 0;
+    return s;
+  }
+
+  s.gates_done = min_gates;
+  if (prefix != nullptr && min_gates < prefix->size()) {
+    s.bytes_done = (*prefix)[static_cast<std::size_t>(min_gates)];
+  }
+  s.fraction = s.bytes_total > 0 ? s.bytes_done / s.bytes_total
+               : s.total_gates > 0
+                   ? static_cast<double>(min_gates) /
+                         static_cast<double>(s.total_gates)
+                   : 0;
+  if (s.bytes_done > 0 && s.elapsed_s > 0) {
+    const double rate = s.bytes_done / s.elapsed_s; // achieved B/s
+    s.gbps = rate * 1e-9;
+    s.eta_s = (s.bytes_total - s.bytes_done) / rate;
+    s.eta_known = true;
+  }
+  return s;
+}
+
+std::string ProgressBoard::last_report_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_json_;
+}
+
+std::string progress_to_json(const ProgressSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"schema\":\"svsim-progress-v1\"";
+  os << ",\"valid\":" << (s.valid ? "true" : "false");
+  os << ",\"active\":" << (s.active ? "true" : "false");
+  os << ",\"interrupted\":" << (s.interrupted ? "true" : "false");
+  os << ",\"backend\":";
+  append_escaped(os, s.backend);
+  os << ",\"n_qubits\":" << s.n_qubits;
+  os << ",\"n_workers\":" << s.n_workers;
+  os << ",\"total_gates\":" << s.total_gates;
+  os << ",\"gates_done\":" << s.gates_done;
+  os << ",\"window\":" << s.window;
+  os << ",\"amps_done\":";
+  append_double(os, s.amps_done);
+  os << ",\"bytes_total\":";
+  append_double(os, s.bytes_total);
+  os << ",\"bytes_done\":";
+  append_double(os, s.bytes_done);
+  os << ",\"fraction\":";
+  append_double(os, s.fraction);
+  os << ",\"elapsed_s\":";
+  append_double(os, s.elapsed_s);
+  os << ",\"gbps\":";
+  append_double(os, s.gbps);
+  os << ",\"eta_s\":";
+  if (s.eta_known) {
+    append_double(os, s.eta_s);
+  } else {
+    os << "null";
+  }
+  os << ",\"per_pe\":[";
+  for (std::size_t w = 0; w < s.pes.size(); ++w) {
+    const ProgressSnapshot::Pe& pe = s.pes[w];
+    if (w != 0) os << ',';
+    os << "{\"pe\":" << w << ",\"gates_done\":" << pe.gates_done
+       << ",\"amps_done\":" << pe.amps_done << ",\"wait_s\":";
+    append_double(os, pe.wait_s);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+int ProgressBoard::render_json_signal_safe(char* buf, std::size_t len) const {
+  // No locks, no allocation: read only the atomic mirrors and the slots.
+  const std::uint64_t total =
+      total_gates_mirror_.load(std::memory_order_relaxed);
+  const double bytes_total = bytes_total_mirror_.load(std::memory_order_relaxed);
+  const int workers = workers_mirror_.load(std::memory_order_relaxed);
+  std::uint64_t min_gates = total;
+  for (int w = 0; w < workers && w < kMaxPes; ++w) {
+    const std::uint64_t g =
+        slots_[w].gates_done.load(std::memory_order_relaxed);
+    if (g < min_gates) min_gates = g;
+  }
+  const double frac =
+      total != 0 ? static_cast<double>(min_gates) / static_cast<double>(total)
+                 : 0.0;
+  const int n = std::snprintf(
+      buf, len,
+      "{\"schema\":\"svsim-progress-v1\",\"interrupted\":%s,"
+      "\"active\":%s,\"backend\":\"%s\",\"n_workers\":%d,"
+      "\"total_gates\":%llu,\"gates_done\":%llu,"
+      "\"bytes_total\":%.17g,\"bytes_done\":%.17g,\"fraction\":%.17g}\n",
+      interrupted_.load(std::memory_order_relaxed) ? "true" : "false",
+      active_.load(std::memory_order_relaxed) ? "true" : "false",
+      backend_mirror_, workers, static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(min_gates), bytes_total,
+      bytes_total * frac, frac);
+  if (n < 0) return 0;
+  return n < static_cast<int>(len) ? n : static_cast<int>(len) - 1;
+}
+
+int env_http_port() {
+  static const int port = [] {
+    const char* e = std::getenv("SVSIM_HTTP");
+    if (e == nullptr || *e == '\0') return -1;
+    const int p = std::atoi(e);
+    return p >= 0 && p <= 65535 ? p : -1;
+  }();
+  return port;
+}
+
+bool env_progress() {
+  static const bool on = [] {
+    const char* e = std::getenv("SVSIM_PROGRESS");
+    return e != nullptr && std::atoi(e) != 0;
+  }();
+  return on;
+}
+
+} // namespace svsim::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 namespace svsim::obs {
@@ -99,33 +100,85 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus label-value escaping: backslash, double quote, and newline
+/// must be escaped inside `label="..."`.
+std::string prom_label_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 } // namespace
 
 std::string Registry::write_prom() const {
+  // Exposition-format conformance: `# HELP`/`# TYPE` exactly once per
+  // metric family. Distinct registry names that sanitize to the same
+  // family ("a.b" and "a_b") therefore share one header and carry a
+  // `name="<original>"` label to keep their samples distinct; a family
+  // with a single source keeps the plain unlabeled form.
   std::ostringstream os;
+  std::map<std::string, std::vector<std::pair<std::string, std::uint64_t>>>
+      counter_fams;
   for (const auto& [name, v] : counter_values()) {
-    const std::string m = "svsim_" + prom_name(name) + "_total";
-    os << "# TYPE " << m << " counter\n" << m << ' ' << v << '\n';
+    counter_fams["svsim_" + prom_name(name) + "_total"].emplace_back(name, v);
+  }
+  for (const auto& [m, members] : counter_fams) {
+    os << "# HELP " << m << " svsim cumulative counter\n";
+    os << "# TYPE " << m << " counter\n";
+    for (const auto& [name, v] : members) {
+      os << m;
+      if (members.size() > 1) {
+        os << "{name=\"" << prom_label_escape(name) << "\"}";
+      }
+      os << ' ' << v << '\n';
+    }
   }
   char buf[64];
+  std::map<std::string,
+           std::vector<std::pair<std::string, Histogram::Snapshot>>>
+      histo_fams;
   for (const auto& [name, s] : histogram_values()) {
-    const std::string m = "svsim_" + prom_name(name) + "_seconds";
+    histo_fams["svsim_" + prom_name(name) + "_seconds"].emplace_back(name, s);
+  }
+  for (const auto& [m, members] : histo_fams) {
+    os << "# HELP " << m << " svsim latency histogram (seconds)\n";
     os << "# TYPE " << m << " histogram\n";
-    // Buckets are cumulative with `le` in seconds: registry bucket k
-    // holds samples in [2^k, 2^{k+1}) µs, so its upper edge is 2^{k+1}µs.
-    std::uint64_t cum = 0;
-    for (int k = 0; k < Histogram::kBuckets; ++k) {
-      const std::uint64_t n = s.buckets[static_cast<std::size_t>(k)];
-      cum += n;
-      if (n == 0 && k != 0) continue; // sparse: only emit occupied edges
-      std::snprintf(buf, sizeof(buf), "%.9g",
-                    std::ldexp(1.0, k + 1) * 1e-6);
-      os << m << "_bucket{le=\"" << buf << "\"} " << cum << '\n';
+    for (const auto& [name, s] : members) {
+      const std::string tag =
+          members.size() > 1 ? "name=\"" + prom_label_escape(name) + "\"," : "";
+      // Buckets are cumulative with `le` in seconds: registry bucket k
+      // holds samples in [2^k, 2^{k+1}) µs, so its upper edge is 2^{k+1}µs.
+      std::uint64_t cum = 0;
+      for (int k = 0; k < Histogram::kBuckets; ++k) {
+        const std::uint64_t n = s.buckets[static_cast<std::size_t>(k)];
+        cum += n;
+        if (n == 0 && k != 0) continue; // sparse: only emit occupied edges
+        std::snprintf(buf, sizeof(buf), "%.9g",
+                      std::ldexp(1.0, k + 1) * 1e-6);
+        os << m << "_bucket{" << tag << "le=\"" << buf << "\"} " << cum
+           << '\n';
+      }
+      os << m << "_bucket{" << tag << "le=\"+Inf\"} " << s.count << '\n';
+      std::snprintf(buf, sizeof(buf), "%.9g", s.sum_us * 1e-6);
+      os << m << "_sum";
+      if (!tag.empty()) {
+        os << '{' << tag.substr(0, tag.size() - 1) << '}'; // drop comma
+      }
+      os << ' ' << buf << '\n';
+      os << m << "_count";
+      if (!tag.empty()) {
+        os << '{' << tag.substr(0, tag.size() - 1) << '}';
+      }
+      os << ' ' << s.count << '\n';
     }
-    os << m << "_bucket{le=\"+Inf\"} " << s.count << '\n';
-    std::snprintf(buf, sizeof(buf), "%.9g", s.sum_us * 1e-6);
-    os << m << "_sum " << buf << '\n';
-    os << m << "_count " << s.count << '\n';
   }
   return os.str();
 }

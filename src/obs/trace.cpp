@@ -121,6 +121,13 @@ void Trace::write() {
   write_locked();
 }
 
+bool Trace::try_write() {
+  if (!mu_.try_lock()) return false;
+  write_locked();
+  mu_.unlock();
+  return true;
+}
+
 void Trace::write_locked() {
   if (path_.empty()) return;
   std::FILE* f = std::fopen(path_.c_str(), "w");

@@ -76,6 +76,13 @@ public:
   /// Rewrite the file from the currently buffered events.
   void write();
 
+  /// Best-effort write for the graceful-shutdown signal handler: try_lock
+  /// instead of lock, so a handler firing mid-flush skips the rewrite
+  /// (the sink already rewrote the file at the last flush) instead of
+  /// deadlocking on the mutex its own thread may hold. Returns whether
+  /// the rewrite happened.
+  bool try_write();
+
   /// Drop all buffered events and track registrations (tests).
   void clear();
 

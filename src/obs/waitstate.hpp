@@ -33,6 +33,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/progress.hpp" // inline slot hook only; no obs-library linkage
+
 namespace svsim::obs {
 
 /// Microseconds since the process observability epoch (steady clock).
@@ -125,23 +127,30 @@ public:
   static void set_phase(const char* name) { phase() = name; }
 };
 
-/// RAII wait span. Active only when the thread is bound to a WaitTrack
-/// and not already inside another scope — a reduction that internally
-/// barriers records one kReduction span and the inner barrier scopes
-/// no-op, so wait seconds never double count.
+/// RAII wait span. Active when the thread is bound to a WaitTrack (full
+/// wait-state attribution) and/or a live ProgressSlot (the /progress
+/// per-PE wait column), and not already inside another scope — a
+/// reduction that internally barriers records one kReduction span and
+/// the inner barrier scopes no-op, so wait seconds never double count.
 class WaitScope {
 public:
   explicit WaitScope(WaitKind kind) : kind_(kind) {
     WaitTrack* t = WaitTracker::current();
-    if (t == nullptr || WaitTracker::depth() != 0) return;
+    const bool live = bound_progress_slot() != nullptr;
+    if ((t == nullptr && !live) || WaitTracker::depth() != 0) return;
     track_ = t;
+    timing_ = true;
     ++WaitTracker::depth();
     t0_us_ = wait_now_us();
   }
   ~WaitScope() {
-    if (track_ == nullptr) return;
+    if (!timing_) return;
     --WaitTracker::depth();
-    track_->record(kind_, t0_us_, wait_now_us(), WaitTracker::phase());
+    const double t1_us = wait_now_us();
+    progress_publish_wait_us(t1_us - t0_us_);
+    if (track_ != nullptr) {
+      track_->record(kind_, t0_us_, t1_us, WaitTracker::phase());
+    }
   }
   WaitScope(const WaitScope&) = delete;
   WaitScope& operator=(const WaitScope&) = delete;
@@ -149,6 +158,7 @@ public:
 private:
   WaitKind kind_;
   WaitTrack* track_ = nullptr;
+  bool timing_ = false;
   double t0_us_ = 0;
 };
 

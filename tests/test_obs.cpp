@@ -4,8 +4,12 @@
 // satellites (Timer::ScopedAccum, per-PE log tags).
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -275,6 +279,230 @@ TEST_F(ObsTraceTest, DisabledTraceCollectsNothing) {
 }
 
 // --- jsonlite ------------------------------------------------------------
+
+// --- prometheus exposition ----------------------------------------------
+
+struct PromSample {
+  std::string family; // base family (suffix stripped for histograms)
+  std::string name;   // full metric name as written
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+/// Strict line-walk of the Prometheus text exposition format. Asserts:
+/// `# HELP` / `# TYPE` exactly once per family and before its samples,
+/// every sample belongs to a typed family, label values use only the
+/// legal escapes (\\ \" \n), and sample values parse as numbers.
+void strict_parse_prom(const std::string& text,
+                       std::vector<PromSample>* out_samples) {
+  std::map<std::string, std::string> type_of;
+  std::set<std::string> help_seen;
+  std::set<std::string> sampled;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    SCOPED_TRACE("line " + std::to_string(lineno) + ": " + line);
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << "HELP without text";
+      const std::string fam = rest.substr(0, sp);
+      EXPECT_TRUE(help_seen.insert(fam).second)
+          << "duplicate # HELP for " << fam;
+      EXPECT_EQ(sampled.count(fam), 0u) << "# HELP after samples";
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos);
+      const std::string fam = rest.substr(0, sp);
+      const std::string type = rest.substr(sp + 1);
+      EXPECT_TRUE(type == "counter" || type == "histogram" ||
+                  type == "gauge")
+          << "unknown type " << type;
+      EXPECT_TRUE(type_of.emplace(fam, type).second)
+          << "duplicate # TYPE for " << fam;
+      EXPECT_EQ(sampled.count(fam), 0u) << "# TYPE after samples";
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line";
+
+    // Sample: name[{labels}] value
+    PromSample s;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    s.name = line.substr(0, i);
+    ASSERT_FALSE(s.name.empty());
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::string key;
+        while (i < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
+                line[i] == '_')) {
+          key += line[i++];
+        }
+        ASSERT_FALSE(key.empty()) << "empty label name";
+        ASSERT_LT(i + 1, line.size());
+        ASSERT_EQ(line[i], '=');
+        ASSERT_EQ(line[i + 1], '"');
+        i += 2;
+        std::string value;
+        bool closed = false;
+        while (i < line.size()) {
+          const char c = line[i];
+          if (c == '"') {
+            closed = true;
+            ++i;
+            break;
+          }
+          if (c == '\\') {
+            ASSERT_LT(i + 1, line.size()) << "dangling backslash";
+            const char esc = line[i + 1];
+            ASSERT_TRUE(esc == '\\' || esc == '"' || esc == 'n')
+                << "illegal escape \\" << esc;
+            value += esc == 'n' ? '\n' : esc;
+            i += 2;
+            continue;
+          }
+          value += c;
+          ++i;
+        }
+        ASSERT_TRUE(closed) << "unterminated label value";
+        s.labels[key] = value;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      ASSERT_LT(i, line.size());
+      ASSERT_EQ(line[i], '}');
+      ++i;
+    }
+    ASSERT_LT(i, line.size());
+    ASSERT_EQ(line[i], ' ');
+    const std::string value_str = line.substr(i + 1);
+    char* end = nullptr;
+    s.value = std::strtod(value_str.c_str(), &end);
+    const bool is_inf = value_str == "+Inf";
+    EXPECT_TRUE(is_inf ||
+                (end != nullptr && *end == '\0' && end != value_str.c_str()))
+        << "bad sample value: " << value_str;
+
+    // Resolve the family: histogram samples carry a suffix.
+    s.family = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string suf(suffix);
+      if (s.name.size() > suf.size() &&
+          s.name.compare(s.name.size() - suf.size(), suf.size(), suf) ==
+              0) {
+        const std::string base = s.name.substr(0, s.name.size() - suf.size());
+        if (type_of.count(base) != 0 && type_of[base] == "histogram") {
+          s.family = base;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(type_of.count(s.family), 0u)
+        << "sample without # TYPE: " << s.name;
+    EXPECT_NE(help_seen.count(s.family), 0u)
+        << "sample without # HELP: " << s.name;
+    if (type_of[s.family] == "histogram" &&
+        s.name == s.family + "_bucket") {
+      EXPECT_NE(s.labels.count("le"), 0u) << "bucket without le";
+    }
+    sampled.insert(s.family);
+    if (out_samples != nullptr) out_samples->push_back(s);
+  }
+}
+
+TEST(ObsProm, ExpositionStrictlyWellFormed) {
+  auto& reg = obs::Registry::global();
+  reg.counter("promtest.gates.applied").add(7);
+  reg.histogram("promtest.gate_us").record_us(12.5);
+  reg.histogram("promtest.gate_us").record_us(900.0);
+  reg.histogram("promtest.gate_us").record_us(0.2);
+  std::vector<PromSample> samples;
+  strict_parse_prom(reg.write_prom(), &samples);
+
+  // Histogram invariants: cumulative buckets monotone, _count == +Inf.
+  std::map<std::string, double> last_bucket;
+  std::map<std::string, double> inf_bucket;
+  std::map<std::string, double> count_sample;
+  for (const PromSample& s : samples) {
+    const std::string series =
+        s.family + "|" + (s.labels.count("name") ? s.labels.at("name") : "");
+    if (s.name == s.family + "_bucket") {
+      auto [it, fresh] = last_bucket.emplace(series, s.value);
+      if (!fresh) {
+        EXPECT_GE(s.value, it->second) << "non-cumulative buckets";
+        it->second = s.value;
+      }
+      if (s.labels.at("le") == "+Inf") inf_bucket[series] = s.value;
+    } else if (s.name == s.family + "_count") {
+      count_sample[series] = s.value;
+    }
+  }
+  for (const auto& [series, count] : count_sample) {
+    ASSERT_NE(inf_bucket.count(series), 0u) << series;
+    EXPECT_EQ(inf_bucket[series], count) << series;
+  }
+  EXPECT_NE(count_sample.size(), 0u);
+}
+
+TEST(ObsProm, CollidingNamesShareOneFamilyViaNameLabel) {
+  auto& reg = obs::Registry::global();
+  // Both sanitize to svsim_promcollide_x_total: one family header, two
+  // samples distinguished by a name label.
+  reg.counter("promcollide.x").add(1);
+  reg.counter("promcollide_x").add(2);
+  const std::string text = reg.write_prom();
+  std::vector<PromSample> samples;
+  strict_parse_prom(text, &samples);
+
+  std::size_t type_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line == "# TYPE svsim_promcollide_x_total counter") ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+
+  std::map<std::string, double> by_label;
+  for (const PromSample& s : samples) {
+    if (s.family == "svsim_promcollide_x_total") {
+      ASSERT_NE(s.labels.count("name"), 0u) << "collision without label";
+      by_label[s.labels.at("name")] = s.value;
+    }
+  }
+  ASSERT_EQ(by_label.size(), 2u);
+  EXPECT_EQ(by_label.at("promcollide.x"), 1.0);
+  EXPECT_EQ(by_label.at("promcollide_x"), 2.0);
+}
+
+TEST(ObsProm, LabelValuesEscapeBackslashQuoteNewline) {
+  auto& reg = obs::Registry::global();
+  // Both names sanitize identically, forcing labeled output whose values
+  // need every escape class.
+  const std::string weird = "promesc.a\"b\\c\nd";
+  reg.counter(weird).add(5);
+  reg.counter("promesc.a_b_c_d").add(6);
+  const std::string text = reg.write_prom();
+  EXPECT_NE(text.find("name=\"promesc.a\\\"b\\\\c\\nd\""),
+            std::string::npos)
+      << text;
+  std::vector<PromSample> samples;
+  strict_parse_prom(text, &samples);
+  bool found = false;
+  for (const PromSample& s : samples) {
+    if (s.labels.count("name") != 0 && s.labels.at("name") == weird) {
+      EXPECT_EQ(s.value, 5.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "escaped label did not round-trip";
+}
 
 TEST(ObsJsonlite, AcceptsAndRejects) {
   EXPECT_TRUE(obs::jsonlite::valid(R"({"a":[1,2.5e-3,"x\n",true,null]})"));
