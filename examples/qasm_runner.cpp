@@ -5,9 +5,15 @@
 //
 //   $ ./examples/qasm_runner [file.qasm] [--backend single|peer|shmem|
 //                            coarse|generalized] [--workers K] [--shots N]
-//                            [--profile trace.json] [--report]
+//                            [--batch B] [--profile trace.json] [--report]
 //                            [--report-json report.json] [--roofline]
 //                            [--metrics] [--serve PORT]
+//
+// --batch B (or SVSIM_BATCH=B) routes the run through the SPMD batched
+// engine: B independent copies of the circuit evolve in lockstep, each on
+// its own RNG stream (seed + member index), and the --shots samples are
+// drawn across the members (ceil(N/B) per member). Member b is bit-for-bit
+// the solo run with seed+b. Ignores --backend (single-node engine).
 //
 // --metrics dumps the process-global counter/histogram registry in
 // Prometheus text exposition format on stdout after the run — scrapeable
@@ -56,6 +62,7 @@
 #include "core/coarse_msg_sim.hpp"
 #include "core/generalized_sim.hpp"
 #include "core/peer_sim.hpp"
+#include "core/batched_sim.hpp"
 #include "core/shmem_sim.hpp"
 #include "core/single_sim.hpp"
 #include "qasm/parser.hpp"
@@ -105,6 +112,8 @@ int main(int argc, char** argv) {
   std::string backend = "single";
   int workers = 4;
   IdxType shots = 1024;
+  IdxType batch = 1;
+  if (const char* env = std::getenv("SVSIM_BATCH")) batch = std::atoll(env);
   bool want_report = false;
   bool want_metrics = false;
   std::string report_json_path;
@@ -117,6 +126,8 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (arg == "--shots" && i + 1 < argc) {
       shots = std::atoll(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = std::atoll(argv[++i]);
     } else if (arg == "--profile" && i + 1 < argc) {
       cfg.profile = true;
       obs::Trace::global().set_path(argv[++i]);
@@ -169,15 +180,36 @@ int main(int argc, char** argv) {
                 static_cast<long long>(circuit.n_gates()),
                 static_cast<long long>(circuit.cx_count()));
 
-    auto sim = make_backend(backend, circuit.n_qubits(), workers, cfg);
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<BatchedSim> bsim;
+    if (batch > 1) {
+      // Default the batched engine to the widest lanes this CPU carries —
+      // the batch-innermost layout exists to feed them.
+      SimConfig bcfg = cfg;
+      if (bcfg.simd == SimdLevel::kScalar) bcfg.simd = max_simd_level();
+      bsim = std::make_unique<BatchedSim>(circuit.n_qubits(), batch, bcfg);
+    } else {
+      sim = make_backend(backend, circuit.n_qubits(), workers, cfg);
+    }
     Timer timer;
-    sim->run(circuit);
+    if (bsim) {
+      bsim->run(circuit);
+    } else {
+      sim->run(circuit);
+    }
     const double ms = timer.millis();
-    std::printf("backend %s: executed in %.3f ms\n", sim->name(), ms);
+    if (bsim) {
+      std::printf("backend %s: executed %lld members in %.3f ms (%s lanes)\n",
+                  bsim->name(), static_cast<long long>(batch), ms,
+                  to_string(bsim->simd_level()));
+    } else {
+      std::printf("backend %s: executed in %.3f ms\n", sim->name(), ms);
+    }
 
     // Snapshot now: sample() below runs a measure-all circuit, which
     // resets last_report() (begin_report runs per run()).
-    const obs::RunReport report = sim->last_report();
+    const obs::RunReport report = bsim ? bsim->last_report()
+                                       : sim->last_report();
 
     if (report.profiled || want_report) {
       std::printf("%s", report.summary().c_str());
@@ -200,16 +232,31 @@ int main(int argc, char** argv) {
       std::printf("report: %s\n", report_json_path.c_str());
     }
 
-    // Classical register from in-circuit measurements, if any.
+    // Classical register from in-circuit measurements, if any. Batched
+    // members diverge on their own RNG streams, so each gets its own row.
     if (circuit.count_op(OP::M) > 0) {
-      std::printf("classical bits (c[k], k ascending): ");
-      for (const IdxType b : sim->cbits()) std::printf("%lld", static_cast<long long>(b));
-      std::printf("\n");
+      if (bsim) {
+        for (IdxType b = 0; b < batch; ++b) {
+          std::printf("classical bits member %lld (c[k], k ascending): ",
+                      static_cast<long long>(b));
+          for (const IdxType v : bsim->member_cbits(b)) {
+            std::printf("%lld", static_cast<long long>(v));
+          }
+          std::printf("\n");
+        }
+      } else {
+        std::printf("classical bits (c[k], k ascending): ");
+        for (const IdxType b : sim->cbits()) std::printf("%lld", static_cast<long long>(b));
+        std::printf("\n");
+      }
     }
 
-    std::printf("sampling %lld shots:\n", static_cast<long long>(shots));
+    std::printf("sampling %lld shots%s:\n", static_cast<long long>(shots),
+                bsim ? " (spread across batch members)" : "");
     std::map<IdxType, int> hist;
-    for (const IdxType s : sim->sample(shots)) ++hist[s];
+    const std::vector<IdxType> samples =
+        bsim ? bsim->sample(shots) : sim->sample(shots);
+    for (const IdxType s : samples) ++hist[s];
     int shown = 0;
     for (const auto& [outcome, count] : hist) {
       std::string label;

@@ -5,9 +5,11 @@
 namespace svsim {
 
 SimdLevel max_simd_level() {
-#if defined(__AVX512F__)
+  // -DSVSIM_FORCE_SCALAR compiles out every SIMD kernel path (the CI
+  // matrix leg proving the scalar fallbacks are complete on their own).
+#if defined(__AVX512F__) && !defined(SVSIM_FORCE_SCALAR)
   return SimdLevel::kAvx512;
-#elif defined(__AVX2__)
+#elif defined(__AVX2__) && !defined(SVSIM_FORCE_SCALAR)
   return SimdLevel::kAvx2;
 #else
   return SimdLevel::kScalar;

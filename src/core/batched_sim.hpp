@@ -1,0 +1,138 @@
+// BatchedSim: the SPMD batch-parallel single-node backend.
+//
+// Evolves K state vectors in lockstep through one circuit skeleton —
+// either literally one circuit (batched shot sampling) or K congruent
+// circuits that differ only in gate angles (a VQE/SPSA parameter sweep).
+// The amplitude layout is batch-innermost ([k*B + b], split re/im), so
+// every kernel computes the pair/quadruple index arithmetic once and a
+// SIMD lane carries B adjacent members (core/kernels/batched.hpp).
+//
+// Mid-circuit measure and reset run with a per-member exec-mask: each
+// member draws on its own RNG stream (member b is seeded cfg.seed + b)
+// and may collapse in its own direction, and the collapse loop blends per
+// member with all-on/all-off fast paths. This removes the old vqa
+// prototype's "ansatz must be unitary" restriction: member b of a batched
+// run reproduces a solo SingleSim run with seed cfg.seed + b bit-for-bit
+// in classical outcomes (the diffcheck `batched` axis pins this).
+//
+// The cache-blocked gate-window scheduler composes with batching: the
+// block exponent is reduced by ceil(log2 B) so one block's B-wide
+// amplitude slab still fits the cache budget the solo schedule was sized
+// for, and high diagonal gates apply through per-member phase tables.
+//
+// Observability: run reports (with a `batch` field), model-driven
+// progress and the roofline tier are batch-aware (per-member footprint
+// × B, gate-table reads amortized). The numerical-health monitor and the
+// flight recorder are intentionally NOT wired: health invariants are
+// per-member (the combined buffer's norm² is B, not 1) and belong in a
+// future per-member checkpoint pass.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/state_vector.hpp"
+#include "ir/circuit.hpp"
+#include "obs/report.hpp"
+
+namespace svsim {
+
+class BatchedSim {
+public:
+  /// B state vectors of n qubits. cfg.simd is clamped (not rejected) to
+  /// the widest lane this build+CPU carries — the batch tail needs the
+  /// scalar lane anyway, so a correct narrower path always exists.
+  explicit BatchedSim(IdxType n_qubits, IdxType batch, SimConfig cfg = {});
+  ~BatchedSim();
+
+  const char* name() const { return "batched"; }
+  IdxType n_qubits() const { return n_; }
+  IdxType dim() const { return dim_; }
+  IdxType batch() const { return batch_; }
+  /// Effective SIMD level after clamping, and its members-per-vector.
+  SimdLevel simd_level() const;
+  IdxType lane_width() const;
+
+  /// All members back to |0...0>, classical bits cleared, member b's RNG
+  /// stream reseeded to cfg.seed + b (the solo-lockstep origin).
+  void reset_state();
+
+  /// Re-aim the engine at a new base seed and reset: member b's stream
+  /// becomes base_seed + b. This is the chunked-shot-campaign idiom — one
+  /// engine, reseed(seed + base) per chunk — which amortizes the state
+  /// allocation across the whole campaign instead of paying it per chunk.
+  void reseed(std::uint64_t base_seed) {
+    cfg_.seed = base_seed;
+    reset_state();
+  }
+
+  /// Run one circuit on every member (shot-sampling shape: members share
+  /// gates and diverge only through measurement randomness).
+  void run(const Circuit& circuit);
+
+  /// Run K congruent circuits, one per member (parameter-sweep shape):
+  /// same ops/operands/cbits gate-for-gate, angles free to differ.
+  void run(const std::vector<Circuit>& members);
+
+  void run_fresh(const Circuit& circuit) {
+    reset_state();
+    run(circuit);
+  }
+  void run_fresh(const std::vector<Circuit>& members) {
+    reset_state();
+    run(members);
+  }
+
+  /// Gather one member's state into host memory.
+  StateVector state(IdxType member) const;
+
+  /// Member b's classical register after the last run().
+  std::vector<IdxType> member_cbits(IdxType member) const;
+
+  /// Sample `shots` outcomes per member from the current states without
+  /// collapsing them (member b's draws replay solo seed+b exactly).
+  std::vector<std::vector<IdxType>> sample_members(IdxType shots);
+
+  /// Aggregate convenience for shot-sampling CLIs: ceil(shots/B) draws
+  /// per member, concatenated member-major and truncated to `shots`.
+  std::vector<IdxType> sample(IdxType shots);
+
+  const obs::RunReport& last_report() const { return report_; }
+
+  /// Direct access to the batch-innermost amplitude arrays ([k*B + b]) —
+  /// the vqa expectation pass and tests read these.
+  ValType* real_data() { return real_.data(); }
+  ValType* imag_data() { return imag_.data(); }
+  const ValType* real_data() const { return real_.data(); }
+  const ValType* imag_data() const { return imag_.data(); }
+
+private:
+  /// Shared executor: `skeleton` drives scheduling/dispatch; when
+  /// `members` is non-null its per-member angles fill the coefficient
+  /// rows (otherwise the skeleton's angles replicate across the batch).
+  void execute(const Circuit& skeleton, const std::vector<Circuit>* members);
+
+  IdxType n_;
+  IdxType dim_;
+  IdxType batch_;
+  SimConfig cfg_;
+  AlignedBuffer<ValType> real_; // [k*batch_ + b]
+  AlignedBuffer<ValType> imag_;
+  std::vector<Rng> rngs_;        // member streams, b seeded cfg.seed + b
+  std::vector<IdxType> cbits_;   // [cbit*batch_ + b]
+  std::vector<IdxType> results_; // measure-all: [b*n_shots + s]
+  IdxType ma_shots_ = 0;
+  obs::RunReport report_;
+  /// Compiled execution plan (coefficient upload, window schedule,
+  /// combining) for the last uniform run() circuit. Seed-independent, so
+  /// a chunked shot campaign — reseed(); run(same circuit) — pays the
+  /// sincos-heavy upload and the schedule/combining analysis once per
+  /// campaign instead of once per chunk. Revalidated gate-for-gate.
+  struct Plan;
+  std::unique_ptr<Plan> plan_;
+};
+
+} // namespace svsim

@@ -139,6 +139,62 @@ RunModel model_run(const Circuit& circuit, const Schedule* schedule) {
   return m;
 }
 
+RunModel model_run_batched(const Circuit& circuit, const Schedule* schedule,
+                           IdxType batch) {
+  RunModel m = model_run(circuit, schedule);
+  if (batch <= 1) return m;
+  const double B = static_cast<double>(batch);
+  // Amplitude traffic and arithmetic scale by the member count: every
+  // sweep streams B lockstep state vectors.
+  m.amps *= B;
+  m.bytes *= B;
+  m.bytes_sched *= B;
+  m.flops *= B;
+  for (OpCost& oc : m.by_op) {
+    oc.amps *= B;
+    oc.bytes *= B;
+    oc.flops *= B;
+  }
+  for (WindowCost& wc : m.windows) {
+    wc.amps *= B;
+    wc.bytes *= B;
+    wc.flops *= B;
+  }
+  // Gate-table reads are amortized: the batched kernels read each gate's
+  // per-member coefficient rows once per sweep — 8 bytes per row per
+  // member, independent of the state dimension — instead of re-deriving
+  // the entries per solo run. Priced per gate, not per member pass.
+  const auto coef_rows = [](OP op) {
+    switch (op) {
+      case OP::U3:
+      case OP::U2:
+      case OP::CU3:
+      case OP::CRX:
+      case OP::CRY:
+      case OP::CH:
+        return 8;
+      case OP::U1:
+      case OP::RZ:
+      case OP::RX:
+      case OP::RY:
+      case OP::CRZ:
+      case OP::CU1:
+      case OP::RXX:
+      case OP::RZZ:
+        return 2;
+      default:
+        return 0;
+    }
+  };
+  for (const Gate& g : circuit.gates()) {
+    const double table_bytes = 8.0 * coef_rows(g.op) * B;
+    m.bytes += table_bytes;
+    m.bytes_sched += table_bytes;
+    m.by_op[static_cast<std::size_t>(g.op)].bytes += table_bytes;
+  }
+  return m;
+}
+
 int env_roofline() {
   static const int v = [] {
     const char* e = std::getenv("SVSIM_ROOFLINE");

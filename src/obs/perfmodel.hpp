@@ -81,6 +81,12 @@ struct RunModel {
 /// window and account cache blocking in bytes_sched.
 RunModel model_run(const Circuit& circuit, const Schedule* schedule = nullptr);
 
+/// Price a lockstep-batched run (BatchedSim): per-member footprint × B,
+/// plus each gate's coefficient-row read once per sweep (the one
+/// gate-table read B members amortize). batch <= 1 is model_run().
+RunModel model_run_batched(const Circuit& circuit, const Schedule* schedule,
+                           IdxType batch);
+
 /// SVSIM_ROOFLINE from the environment: -1 unset, 0 off, 1 on. Read once.
 int env_roofline();
 

@@ -102,15 +102,22 @@ ProgressBoard& ProgressBoard::global() {
 
 void ProgressBoard::begin_run(const char* backend, IdxType n_qubits,
                               int n_workers, const Circuit& circuit,
-                              const Schedule* sched) {
-  auto prefix = std::make_shared<const std::vector<double>>(
-      build_bytes_prefix(circuit, sched));
+                              const Schedule* sched, IdxType batch) {
+  std::vector<double> scaled = build_bytes_prefix(circuit, sched);
+  if (batch > 1) {
+    // Lockstep batch: every sweep touches B members' amplitudes, so the
+    // predicted-bytes axis (and with it fraction/ETA/GB/s) scales by B.
+    for (double& v : scaled) v *= static_cast<double>(batch);
+  }
+  auto prefix =
+      std::make_shared<const std::vector<double>>(std::move(scaled));
   const double total_bytes = prefix->back();
   {
     std::lock_guard<std::mutex> lock(mu_);
     backend_ = backend;
     n_qubits_ = static_cast<long long>(n_qubits);
     n_workers_ = n_workers < kMaxPes ? n_workers : kMaxPes;
+    batch_ = batch > 1 ? static_cast<int>(batch) : 1;
     total_gates_ = static_cast<std::uint64_t>(circuit.n_gates());
     start_us_ = wait_now_us();
     end_us_ = 0;
@@ -147,6 +154,7 @@ ProgressSnapshot ProgressBoard::snapshot() const {
     s.backend = backend_;
     s.n_qubits = n_qubits_;
     s.n_workers = n_workers_;
+    s.batch = batch_;
     s.total_gates = total_gates_;
     prefix = bytes_prefix_;
     start_us = start_us_;
@@ -221,6 +229,7 @@ std::string progress_to_json(const ProgressSnapshot& s) {
   append_escaped(os, s.backend);
   os << ",\"n_qubits\":" << s.n_qubits;
   os << ",\"n_workers\":" << s.n_workers;
+  os << ",\"batch\":" << s.batch;
   os << ",\"total_gates\":" << s.total_gates;
   os << ",\"gates_done\":" << s.gates_done;
   os << ",\"window\":" << s.window;

@@ -119,6 +119,7 @@ struct ProgressSnapshot {
   std::string backend;
   long long n_qubits = 0;
   int n_workers = 0;
+  int batch = 1; // lockstep batch members (BatchedSim), 1 otherwise
   std::uint64_t total_gates = 0;
   std::uint64_t gates_done = 0; // min over PEs (the loops are lockstep)
   std::uint64_t window = 0;
@@ -159,8 +160,11 @@ public:
   /// circuit through obs/perfmodel into a per-gate cumulative
   /// predicted-bytes prefix (schedule-aware when `sched` is given — a
   /// blocked window's single sweep is spread evenly over its gates).
+  /// `batch` > 1 (BatchedSim) scales the predicted bytes by the member
+  /// count so fraction/ETA stay accurate for lockstep-batched runs.
   void begin_run(const char* backend, IdxType n_qubits, int n_workers,
-                 const Circuit& circuit, const Schedule* sched);
+                 const Circuit& circuit, const Schedule* sched,
+                 IdxType batch = 1);
 
   /// Close the run: freeze the wall clock and keep `report_json` (the
   /// finished svsim-report-v1 document) for GET /report.
@@ -195,6 +199,7 @@ private:
   std::string backend_;
   long long n_qubits_ = 0;
   int n_workers_ = 0;
+  int batch_ = 1;
   std::uint64_t total_gates_ = 0;
   double start_us_ = 0; // wait_now_us() at begin_run
   double end_us_ = 0;   // frozen at end_run

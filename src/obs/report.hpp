@@ -163,6 +163,9 @@ struct RunReport {
   std::string backend;
   IdxType n_qubits = 0;
   int n_workers = 1;
+  /// State vectors evolved in lockstep by this run (BatchedSim); 1 for
+  /// every solo backend. Additive svsim-report-v1 field.
+  int batch = 1;
 
   std::uint64_t total_gates = 0;
   double wall_seconds = 0;

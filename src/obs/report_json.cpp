@@ -60,6 +60,7 @@ std::string to_json(const RunReport& report) {
   append_escaped(os, report.backend);
   os << ",\"n_qubits\":" << static_cast<long long>(report.n_qubits);
   os << ",\"n_workers\":" << report.n_workers;
+  os << ",\"batch\":" << report.batch;
   os << ",\"total_gates\":";
   append_u64(os, report.total_gates);
   os << ",\"wall_seconds\":";

@@ -3,11 +3,13 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/batched_sim.hpp"
 #include "core/coarse_msg_sim.hpp"
 #include "core/generalized_sim.hpp"
 #include "core/peer_sim.hpp"
 #include "core/shmem_sim.hpp"
 #include "core/single_sim.hpp"
+#include "ir/fusion.hpp"
 
 namespace svsim::testing {
 
@@ -65,12 +67,109 @@ long localize(const Circuit& exec, const Circuit& ref, const DiffSpec& spec) {
   return static_cast<long>(lo);
 }
 
+/// Batched axis: member b of the SPMD batched engine vs a solo SingleSim
+/// run at seed+b. The oracle is not consulted directly — the solo engine
+/// is anchored to it by the scalar specs, so member-vs-solo equality
+/// transitively proves the batched engine. Fusion specs fuse once here
+/// and run the identical fused circuit through both engines, keeping the
+/// bit-for-bit claim exact (internal run_fused would re-fuse per engine).
+DiffResult diff_run_batched(const Circuit& c, const DiffSpec& spec) {
+  DiffResult res;
+  res.config = spec.label();
+  const Circuit perturbed = backend_circuit(c, spec);
+  const Circuit exec = spec.fusion ? fuse_gates(perturbed) : perturbed;
+  const auto B = static_cast<IdxType>(spec.batch);
+
+  SimConfig bcfg;
+  bcfg.seed = spec.seed;
+  bcfg.sched_window = spec.sched ? -1 : 0;
+  // Widest lanes available: the batched axis must exercise the SIMD
+  // blend/mask paths against the solo engine, not just ScalarLane.
+  bcfg.simd = max_simd_level();
+  svsim::BatchedSim bsim(c.n_qubits(), B, bcfg);
+  bsim.run(exec);
+
+  // Snapshot per-member state and classical bits before the sampling
+  // pass: sample_members() pushes a measure-all circuit through the
+  // engine, which re-initializes the classical register.
+  std::vector<StateVector> states;
+  std::vector<std::vector<IdxType>> cbits;
+  states.reserve(static_cast<std::size_t>(B));
+  cbits.reserve(static_cast<std::size_t>(B));
+  for (IdxType b = 0; b < B; ++b) {
+    states.push_back(bsim.state(b));
+    cbits.push_back(bsim.member_cbits(b));
+  }
+  std::vector<std::vector<IdxType>> samples;
+  if (spec.shots > 0) samples = bsim.sample_members(spec.shots);
+
+  std::ostringstream detail;
+  for (IdxType b = 0; b < B; ++b) {
+    SimConfig scfg;
+    scfg.seed = spec.seed + static_cast<std::uint64_t>(b);
+    scfg.sched_window = spec.sched ? -1 : 0;
+    SingleSim solo(c.n_qubits(), scfg);
+    solo.run(exec);
+
+    const ValType d = states[static_cast<std::size_t>(b)].max_diff(
+        solo.state());
+    res.max_diff = std::max(res.max_diff, d);
+    if (d > spec.tol) {
+      res.ok = false;
+      if (detail.tellp() > 0) detail << "; ";
+      detail << "member " << b << " state diverged from solo seed+" << b
+             << " (max |Δamp| = " << d << ")";
+    }
+
+    // Per-member RNG lockstep: member b and the solo run at seed+b draw
+    // the same uniforms in the same order, so mid-circuit measure/reset
+    // outcomes must match bit-for-bit.
+    if (cbits[static_cast<std::size_t>(b)] != solo.cbits()) {
+      res.ok = false;
+      if (detail.tellp() > 0) detail << "; ";
+      detail << "member " << b << " classical bits diverged:";
+      const auto& got = cbits[static_cast<std::size_t>(b)];
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i] != solo.cbits()[i]) {
+          detail << " c[" << i << "]=" << got[i] << " (solo "
+                 << solo.cbits()[i] << ")";
+        }
+      }
+    }
+
+    if (spec.shots > 0) {
+      const std::vector<IdxType> solo_samples = solo.sample(spec.shots);
+      const auto& got = samples[static_cast<std::size_t>(b)];
+      IdxType mismatches = 0;
+      for (std::size_t i = 0; i < solo_samples.size(); ++i) {
+        if (got[i] != solo_samples[i]) ++mismatches;
+      }
+      // Identical draw streams; an outcome can flip only when a draw
+      // lands within FP-contraction distance of a cumulative boundary.
+      const auto allowed =
+          static_cast<IdxType>(2 + static_cast<IdxType>(spec.shots) / 512);
+      if (mismatches > allowed) {
+        res.ok = false;
+        if (detail.tellp() > 0) detail << "; ";
+        detail << "member " << b << " samples diverged on " << mismatches
+               << "/" << spec.shots << " shots";
+      }
+    }
+  }
+  if (!res.ok) res.detail = detail.str();
+  return res;
+}
+
 } // namespace
 
 std::string DiffSpec::label() const {
   std::ostringstream os;
-  os << backend;
-  if (backend != "single" && backend != "generalized") os << " x" << workers;
+  if (batch > 0) {
+    os << "batched B=" << batch;
+  } else {
+    os << backend;
+    if (backend != "single" && backend != "generalized") os << " x" << workers;
+  }
   os << (fusion ? " fusion=on" : " fusion=off")
      << (sched ? " sched=on" : " sched=off");
   return os.str();
@@ -111,6 +210,7 @@ OracleResult oracle_run(const Circuit& c, std::uint64_t seed, IdxType shots) {
 
 DiffResult diff_run(const Circuit& c, const OracleResult& oracle,
                     const DiffSpec& spec) {
+  if (spec.batch > 0) return diff_run_batched(c, spec);
   DiffResult res;
   res.config = spec.label();
   const Circuit exec = backend_circuit(c, spec);
@@ -204,6 +304,29 @@ std::vector<DiffSpec> default_sweep(int workers, std::uint64_t seed,
         specs.push_back(std::move(s));
       }
     }
+  }
+  // Batched axis: a lane-width multiple (8) and a ragged batch (5, which
+  // exercises the scalar tail after full SIMD chunks), each with the
+  // blocked scheduler off and on, plus one fused point.
+  for (const int batch : {8, 5}) {
+    for (const bool sched : {false, true}) {
+      DiffSpec s;
+      s.batch = batch;
+      s.sched = sched;
+      s.seed = seed;
+      s.shots = shots;
+      s.tol = tol;
+      specs.push_back(std::move(s));
+    }
+  }
+  {
+    DiffSpec s;
+    s.batch = 8;
+    s.fusion = true;
+    s.seed = seed;
+    s.shots = shots;
+    s.tol = tol;
+    specs.push_back(std::move(s));
   }
   return specs;
 }

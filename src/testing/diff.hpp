@@ -23,6 +23,13 @@ struct DiffSpec {
   std::uint64_t seed = 42;        // backend + oracle RNG seed
   IdxType shots = 256;            // sampling-equivalence shot count
   ValType tol = 1e-9;             // max |amp_backend - amp_oracle|
+  /// Batched axis: when > 0, run the SPMD batched engine with this many
+  /// members and check every member b against a solo SingleSim run at
+  /// seed+b — state at tol, classical bits and samples bit-for-bit
+  /// (per-member RNG lockstep covers mid-circuit measure/reset
+  /// divergence). Fusion specs fuse once externally and feed the same
+  /// fused circuit to both engines. `backend` is ignored when set.
+  int batch = 0;
   /// Test seam for the harness's own regression tests: when >= 0, the
   /// backend executes the circuit with gate `perturb_gate`'s theta nudged
   /// while the oracle runs the original — the localizer must then report

@@ -1,179 +1,99 @@
 #include "vqa/batched.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <memory>
 
 #include "common/bits.hpp"
-#include "ir/matrices.hpp"
 
 namespace svsim::vqa {
 
-BatchedSim::BatchedSim(IdxType n_qubits, int batch)
-    : n_(n_qubits),
-      dim_(pow2(n_qubits)),
-      batch_(batch),
-      real_(static_cast<std::size_t>(dim_) * static_cast<std::size_t>(batch)),
-      imag_(static_cast<std::size_t>(dim_) * static_cast<std::size_t>(batch)) {
+BatchedSim::BatchedSim(IdxType n_qubits, int batch, SimConfig cfg)
+    : engine_(n_qubits, static_cast<IdxType>(batch),
+              [&] {
+                // Default the lane selection to the widest level this
+                // build+CPU carries; the engine clamps, never rejects.
+                if (cfg.simd == SimdLevel::kScalar) {
+                  cfg.simd = max_simd_level();
+                }
+                return cfg;
+              }()) {
   SVSIM_CHECK(batch >= 1, "batch must be positive");
-  reset_all();
-}
-
-void BatchedSim::reset_all() {
-  real_.zero();
-  imag_.zero();
-  for (int b = 0; b < batch_; ++b) {
-    real_[static_cast<std::size_t>(b)] = 1.0; // amplitude 0 of member b
-  }
-}
-
-void BatchedSim::apply_1q(const std::vector<Mat2>& mats, IdxType q) {
-  const IdxType B = batch_;
-  const IdxType stride = pow2(q);
-  const IdxType pairs = half_dim(n_);
-  ValType* re = real_.data();
-  ValType* im = imag_.data();
-  for (IdxType i = 0; i < pairs; ++i) {
-    const IdxType p0 = pair_base(i, q) * B;
-    const IdxType p1 = p0 + stride * B;
-    for (IdxType b = 0; b < B; ++b) {
-      const Mat2& m = mats[static_cast<std::size_t>(b)];
-      const ValType r0 = re[p0 + b], i0 = im[p0 + b];
-      const ValType r1 = re[p1 + b], i1 = im[p1 + b];
-      const Complex a0{r0, i0}, a1{r1, i1};
-      const Complex b0 = m[0] * a0 + m[1] * a1;
-      const Complex b1 = m[2] * a0 + m[3] * a1;
-      re[p0 + b] = b0.real();
-      im[p0 + b] = b0.imag();
-      re[p1 + b] = b1.real();
-      im[p1 + b] = b1.imag();
-    }
-  }
-}
-
-void BatchedSim::apply_2q(const std::vector<Mat4>& mats, IdxType q0,
-                          IdxType q1) {
-  const IdxType B = batch_;
-  const IdxType p = q0 < q1 ? q0 : q1;
-  const IdxType q = q0 < q1 ? q1 : q0;
-  const IdxType off0 = pow2(q0) * B;
-  const IdxType off1 = pow2(q1) * B;
-  const IdxType quads = quarter_dim(n_);
-  ValType* re = real_.data();
-  ValType* im = imag_.data();
-  for (IdxType i = 0; i < quads; ++i) {
-    const IdxType s = quad_base(i, p, q) * B;
-    const IdxType idx[4] = {s, s + off1, s + off0, s + off0 + off1};
-    for (IdxType b = 0; b < B; ++b) {
-      const Mat4& m = mats[static_cast<std::size_t>(b)];
-      Complex v[4];
-      for (int k = 0; k < 4; ++k) {
-        v[k] = Complex{re[idx[k] + b], im[idx[k] + b]};
-      }
-      for (int r = 0; r < 4; ++r) {
-        Complex acc = 0;
-        for (int c = 0; c < 4; ++c) {
-          acc += m[static_cast<std::size_t>(r * 4 + c)] * v[c];
-        }
-        re[idx[r] + b] = acc.real();
-        im[idx[r] + b] = acc.imag();
-      }
-    }
-  }
 }
 
 void BatchedSim::run_fresh(const ParamCircuit& ansatz,
                            const std::vector<std::vector<ValType>>& params) {
-  SVSIM_CHECK(static_cast<int>(params.size()) == batch_,
+  SVSIM_CHECK(static_cast<int>(params.size()) == batch(),
               "one parameter vector per batch member required");
-  SVSIM_CHECK(ansatz.n_qubits() == n_, "ansatz width mismatch");
-  reset_all();
+  SVSIM_CHECK(ansatz.n_qubits() == n_qubits(), "ansatz width mismatch");
 
   // Bind once per member; the slot structure is identical across members
-  // (same ansatz), so gate i of every member shares op and operands.
+  // (same ansatz), so gate i of every member shares op and operands — the
+  // congruence the engine's per-member coefficient rows rely on.
   std::vector<Circuit> bound;
   bound.reserve(params.size());
   for (const auto& p : params) bound.push_back(ansatz.bind(p));
-  const IdxType n_gates = bound[0].n_gates();
-  for (const Circuit& c : bound) {
-    SVSIM_CHECK(c.n_gates() == n_gates, "ansatz produced ragged circuits");
-  }
-
-  std::vector<Mat2> mats1(static_cast<std::size_t>(batch_));
-  std::vector<Mat4> mats2(static_cast<std::size_t>(batch_));
-  for (IdxType i = 0; i < n_gates; ++i) {
-    const Gate& g0 = bound[0].gates()[static_cast<std::size_t>(i)];
-    SVSIM_CHECK(is_unitary_op(g0.op),
-                "batched execution supports unitary ansatze only");
-    if (g0.op == OP::BARRIER) continue;
-    const OpInfo& info = op_info(g0.op);
-    if (info.n_qubits == 1) {
-      for (int b = 0; b < batch_; ++b) {
-        mats1[static_cast<std::size_t>(b)] =
-            matrix_1q(bound[static_cast<std::size_t>(b)]
-                          .gates()[static_cast<std::size_t>(i)]);
-      }
-      apply_1q(mats1, g0.qb0);
-    } else {
-      for (int b = 0; b < batch_; ++b) {
-        mats2[static_cast<std::size_t>(b)] =
-            matrix_2q(bound[static_cast<std::size_t>(b)]
-                          .gates()[static_cast<std::size_t>(i)]);
-      }
-      apply_2q(mats2, g0.qb0, g0.qb1);
-    }
-  }
-}
-
-StateVector BatchedSim::state(int member) const {
-  SVSIM_CHECK(member >= 0 && member < batch_, "member out of range");
-  StateVector sv(n_);
-  const IdxType B = batch_;
-  for (IdxType k = 0; k < dim_; ++k) {
-    sv.amps[static_cast<std::size_t>(k)] =
-        Complex{real_[static_cast<std::size_t>(k * B + member)],
-                imag_[static_cast<std::size_t>(k * B + member)]};
-  }
-  return sv;
+  engine_.run_fresh(bound);
 }
 
 std::vector<ValType> BatchedSim::expectations(const Hamiltonian& h) const {
-  SVSIM_CHECK(h.n_qubits() <= n_, "Hamiltonian is wider than the register");
-  const IdxType B = batch_;
+  SVSIM_CHECK(h.n_qubits() <= n_qubits(),
+              "Hamiltonian is wider than the register");
+  const IdxType B = engine_.batch();
+  const IdxType dim = engine_.dim();
   std::vector<ValType> out(static_cast<std::size_t>(B), h.constant);
-  const ValType* re = real_.data();
-  const ValType* im = imag_.data();
+  std::vector<ValType> acc(static_cast<std::size_t>(B));
+  const ValType* __restrict re = engine_.real_data();
+  const ValType* __restrict im = engine_.imag_data();
+  ValType* __restrict a = acc.data();
   for (const PauliTerm& term : h.terms) {
-    std::vector<ValType> acc(static_cast<std::size_t>(B), 0);
-    for (IdxType k = 0; k < dim_; ++k) {
-      // target index and phase depend only on k, not on the member.
-      IdxType target = k;
-      Complex phase{1, 0};
-      for (std::size_t q = 0; q < term.ops.size(); ++q) {
-        const bool bit = qubit_set(k, static_cast<IdxType>(q));
-        switch (term.ops[q]) {
-          case Pauli::I: break;
-          case Pauli::X: target ^= pow2(static_cast<IdxType>(q)); break;
-          case Pauli::Y:
-            target ^= pow2(static_cast<IdxType>(q));
-            phase *= bit ? Complex{0, -1} : Complex{0, 1};
-            break;
-          case Pauli::Z:
-            if (bit) phase = -phase;
-            break;
-        }
+    // A Pauli string acts on basis states by a bit flip plus a phase that
+    // is a power of i: target = k ^ x_mask, phase = i^nY * (-1)^parity(k
+    // & zy_mask) — so the per-k work collapses to an XOR and a popcount,
+    // and the member loop below is a pure FMA over contiguous lanes.
+    IdxType x_mask = 0, zy_mask = 0;
+    int n_y = 0;
+    for (std::size_t q = 0; q < term.ops.size(); ++q) {
+      switch (term.ops[q]) {
+        case Pauli::I: break;
+        case Pauli::X: x_mask |= pow2(static_cast<IdxType>(q)); break;
+        case Pauli::Y:
+          x_mask |= pow2(static_cast<IdxType>(q));
+          zy_mask |= pow2(static_cast<IdxType>(q));
+          ++n_y;
+          break;
+        case Pauli::Z: zy_mask |= pow2(static_cast<IdxType>(q)); break;
       }
+    }
+    // i^nY folded into (pr, pi); conj(i)^popcount(k & y) over the Y bits
+    // is what the qubit-set branch in the scalar path computed — it
+    // reduces to the same global i^nY once the (-1) parts join zy_mask.
+    const int quarter = ((n_y % 4) + 4) % 4;
+    const ValType pr = (quarter == 0) ? 1 : (quarter == 2) ? -1 : 0;
+    const ValType pi = (quarter == 1) ? 1 : (quarter == 3) ? -1 : 0;
+    std::fill(acc.begin(), acc.end(), ValType{0});
+    for (IdxType k = 0; k < dim; ++k) {
+      const ValType sign =
+          (std::popcount(static_cast<std::uint64_t>(k & zy_mask)) & 1)
+              ? ValType{-1}
+              : ValType{1};
       const IdxType kb = k * B;
-      const IdxType tb = target * B;
-      for (IdxType b = 0; b < B; ++b) {
-        // Re( conj(psi[target]) * phase * psi[k] ).
-        const Complex contrib =
-            std::conj(Complex{re[tb + b], im[tb + b]}) * phase *
-            Complex{re[kb + b], im[kb + b]};
-        acc[static_cast<std::size_t>(b)] += contrib.real();
+      const IdxType tb = (k ^ x_mask) * B;
+      if (pi == 0) {
+        // Re( conj(t) * (s*pr) * k ) = s*pr * (tr*kr + ti*ki).
+        const ValType s = sign * pr;
+        for (IdxType b = 0; b < B; ++b) {
+          a[b] += s * (re[tb + b] * re[kb + b] + im[tb + b] * im[kb + b]);
+        }
+      } else {
+        // Re( conj(t) * (s*pi*i) * k ) = -s*pi * (tr*ki - ti*kr).
+        const ValType s = -sign * pi;
+        for (IdxType b = 0; b < B; ++b) {
+          a[b] += s * (re[tb + b] * im[kb + b] - im[tb + b] * re[kb + b]);
+        }
       }
     }
     for (IdxType b = 0; b < B; ++b) {
-      out[static_cast<std::size_t>(b)] +=
-          term.coeff * acc[static_cast<std::size_t>(b)];
+      out[static_cast<std::size_t>(b)] += term.coeff * a[b];
     }
   }
   return out;
@@ -184,20 +104,41 @@ std::vector<ValType> batched_energy_sweep(
     const std::vector<std::vector<ValType>>& param_sets, int batch) {
   std::vector<ValType> energies;
   energies.reserve(param_sets.size());
+  // One engine serves every full-width chunk (run_fresh re-initializes the
+  // state, so the allocation and kernel-table setup amortize across the
+  // sweep); only a ragged tail needs a second, narrower engine.
+  std::unique_ptr<BatchedSim> full;
   std::size_t done = 0;
   while (done < param_sets.size()) {
     const int this_batch = static_cast<int>(
         std::min<std::size_t>(static_cast<std::size_t>(batch),
                               param_sets.size() - done));
-    BatchedSim sim(n_qubits, this_batch);
+    BatchedSim* sim;
+    std::unique_ptr<BatchedSim> tail;
+    if (this_batch == batch) {
+      if (!full) full = std::make_unique<BatchedSim>(n_qubits, batch);
+      sim = full.get();
+    } else {
+      tail = std::make_unique<BatchedSim>(n_qubits, this_batch);
+      sim = tail.get();
+    }
     std::vector<std::vector<ValType>> chunk(
         param_sets.begin() + static_cast<long>(done),
         param_sets.begin() + static_cast<long>(done + static_cast<std::size_t>(this_batch)));
-    sim.run_fresh(ansatz, chunk);
-    for (const ValType e : sim.expectations(h)) energies.push_back(e);
+    sim->run_fresh(ansatz, chunk);
+    for (const ValType e : sim->expectations(h)) energies.push_back(e);
     done += static_cast<std::size_t>(this_batch);
   }
   return energies;
+}
+
+BatchObjective energy_objective(IdxType n_qubits, ParamCircuit ansatz,
+                                Hamiltonian h, int batch) {
+  SVSIM_CHECK(batch >= 1, "batch must be positive");
+  return [n_qubits, ansatz = std::move(ansatz), h = std::move(h),
+          batch](const std::vector<std::vector<ValType>>& pts) {
+    return batched_energy_sweep(n_qubits, ansatz, h, pts, batch);
+  };
 }
 
 } // namespace svsim::vqa

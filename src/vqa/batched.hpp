@@ -1,59 +1,62 @@
-// Batched state-vector simulation — the paper's stated future work
+// Batched variational evaluation — the paper's stated future work
 // (§5/§7: "building a variational algorithm specific simulator by
 // further parallelizing the variational optimization loop ... batched
 // simulation").
 //
-// A BatchedSim holds B state vectors in a batch-innermost layout
-// (amps[k*B + b]), and executes the SAME ansatz structure with B
-// different parameter vectors in one pass: every gate is applied to all
-// members before moving on, so the inner loop runs contiguously across
-// the batch and vectorizes, and the circuit is bound/uploaded once per
-// sweep instead of once per member. Nelder-Mead simplex evaluations and
-// SPSA probe pairs are natural batches.
+// vqa::BatchedSim is the ansatz-facing adapter over the core SPMD
+// batched engine (core/batched_sim.hpp): it binds one ParamCircuit to B
+// parameter vectors and evolves the B members in lockstep through the
+// SIMD batched kernels — one upload per sweep, batch-innermost layout,
+// explicit vector lanes across members. Since the engine carries the
+// full kernel family including exec-masked measure and reset, ansatze
+// are no longer restricted to unitary gates: mid-circuit measurement
+// diverges per member on member-b's own RNG stream (seed cfg.seed + b).
+// Nelder-Mead simplex evaluations and SPSA probe pairs are natural
+// batches (vqa/optimizer.hpp's BatchObjective drives this).
 #pragma once
 
 #include <vector>
 
-#include "common/aligned.hpp"
+#include "common/config.hpp"
+#include "core/batched_sim.hpp"
 #include "core/state_vector.hpp"
-#include "ir/matrices.hpp"
 #include "vqa/ansatz.hpp"
+#include "vqa/optimizer.hpp"
 #include "vqa/pauli.hpp"
 
 namespace svsim::vqa {
 
 class BatchedSim {
 public:
-  BatchedSim(IdxType n_qubits, int batch);
+  BatchedSim(IdxType n_qubits, int batch, SimConfig cfg = {});
 
-  IdxType n_qubits() const { return n_; }
-  int batch() const { return batch_; }
+  IdxType n_qubits() const { return engine_.n_qubits(); }
+  int batch() const { return static_cast<int>(engine_.batch()); }
 
-  /// Reset every member to |0...0>.
-  void reset_all();
+  /// Reset every member to |0...0> (and reseed the member RNG streams).
+  void reset_all() { engine_.reset_state(); }
 
   /// Execute `ansatz` bound to params[b] on member b (params.size() must
-  /// equal batch()). The ansatz must be unitary (no measure/reset).
+  /// equal batch()). Measure/reset gates are allowed: they run through
+  /// the engine's exec-masked kernels and diverge per member.
   void run_fresh(const ParamCircuit& ansatz,
                  const std::vector<std::vector<ValType>>& params);
 
   /// Snapshot one member's state.
-  StateVector state(int member) const;
+  StateVector state(int member) const {
+    return engine_.state(static_cast<IdxType>(member));
+  }
 
   /// <H> for every member (one sweep over the batched amplitudes per
   /// Pauli term).
   std::vector<ValType> expectations(const Hamiltonian& h) const;
 
-private:
-  void apply_1q(const std::vector<Mat2>& mats, IdxType q);
-  void apply_2q(const std::vector<Mat4>& mats, IdxType q0, IdxType q1);
+  /// The underlying SPMD engine (reports, sampling, direct state access).
+  svsim::BatchedSim& engine() { return engine_; }
+  const svsim::BatchedSim& engine() const { return engine_; }
 
-  IdxType n_;
-  IdxType dim_;
-  int batch_;
-  // Batch-innermost SoA: element (amplitude k, member b) at [k*batch + b].
-  AlignedBuffer<ValType> real_;
-  AlignedBuffer<ValType> imag_;
+private:
+  svsim::BatchedSim engine_;
 };
 
 /// Convenience: evaluate <H> for many parameter vectors of one ansatz in
@@ -62,5 +65,12 @@ private:
 std::vector<ValType> batched_energy_sweep(
     IdxType n_qubits, const ParamCircuit& ansatz, const Hamiltonian& h,
     const std::vector<std::vector<ValType>>& param_sets, int batch = 8);
+
+/// The batched VQE objective: a BatchObjective computing <H> of `ansatz`
+/// through the SPMD engine, `batch` members per lockstep pass. Hand it to
+/// NelderMead/Spsa minimize(BatchObjective, ...) and the simplex init,
+/// shrink steps, and SPSA probe pairs each collapse into one sweep.
+BatchObjective energy_objective(IdxType n_qubits, ParamCircuit ansatz,
+                                Hamiltonian h, int batch = 8);
 
 } // namespace svsim::vqa

@@ -8,20 +8,40 @@
 
 namespace svsim::vqa {
 
+BatchObjective lift_objective(Objective f) {
+  return [f = std::move(f)](const std::vector<std::vector<ValType>>& pts) {
+    std::vector<ValType> vals;
+    vals.reserve(pts.size());
+    for (const auto& p : pts) vals.push_back(f(p));
+    return vals;
+  };
+}
+
 OptResult NelderMead::minimize(const Objective& f,
+                               std::vector<ValType> start) const {
+  return minimize(lift_objective(f), std::move(start));
+}
+
+OptResult NelderMead::minimize(const BatchObjective& f,
                                std::vector<ValType> start) const {
   const std::size_t dim = start.size();
   SVSIM_CHECK(dim >= 1, "Nelder-Mead needs at least one parameter");
   OptResult res;
 
-  // Initial simplex: start point plus one step along each axis.
+  auto eval1 = [&](const std::vector<ValType>& p) {
+    const std::vector<ValType> v = f({p});
+    SVSIM_CHECK(v.size() == 1, "batch objective returned wrong count");
+    ++res.evaluations;
+    return v[0];
+  };
+
+  // Initial simplex: start point plus one step along each axis. All dim+1
+  // vertices are independent — one batched pass.
   std::vector<std::vector<ValType>> pts(dim + 1, start);
   for (std::size_t i = 0; i < dim; ++i) pts[i + 1][i] += opt_.initial_step;
-  std::vector<ValType> vals(dim + 1);
-  for (std::size_t i = 0; i <= dim; ++i) {
-    vals[i] = f(pts[i]);
-    ++res.evaluations;
-  }
+  std::vector<ValType> vals = f(pts);
+  SVSIM_CHECK(vals.size() == dim + 1, "batch objective returned wrong count");
+  res.evaluations += static_cast<int>(dim + 1);
 
   auto order = [&] {
     std::vector<std::size_t> idx(dim + 1);
@@ -65,14 +85,14 @@ OptResult NelderMead::minimize(const Objective& f,
       return p;
     };
 
+    // Reflection/expansion/contraction each depend on the previous value,
+    // so these probes stay sequential (single-point batches).
     const std::vector<ValType> refl = blend(-1.0);
-    const ValType f_refl = f(refl);
-    ++res.evaluations;
+    const ValType f_refl = eval1(refl);
 
     if (f_refl < vals[0]) {
       const std::vector<ValType> exp_p = blend(-2.0);
-      const ValType f_exp = f(exp_p);
-      ++res.evaluations;
+      const ValType f_exp = eval1(exp_p);
       if (f_exp < f_refl) {
         pts[dim] = exp_p;
         vals[dim] = f_exp;
@@ -85,20 +105,24 @@ OptResult NelderMead::minimize(const Objective& f,
       vals[dim] = f_refl;
     } else {
       const std::vector<ValType> contr = blend(0.5);
-      const ValType f_contr = f(contr);
-      ++res.evaluations;
+      const ValType f_contr = eval1(contr);
       if (f_contr < vals[dim]) {
         pts[dim] = contr;
         vals[dim] = f_contr;
       } else {
-        // Shrink toward the best vertex.
+        // Shrink toward the best vertex: the dim moved vertices are
+        // independent — one batched pass.
         for (std::size_t i = 1; i <= dim; ++i) {
           for (std::size_t d = 0; d < dim; ++d) {
             pts[i][d] = pts[0][d] + 0.5 * (pts[i][d] - pts[0][d]);
           }
-          vals[i] = f(pts[i]);
-          ++res.evaluations;
         }
+        const std::vector<std::vector<ValType>> moved(pts.begin() + 1,
+                                                      pts.end());
+        const std::vector<ValType> mv = f(moved);
+        SVSIM_CHECK(mv.size() == dim, "batch objective returned wrong count");
+        for (std::size_t i = 1; i <= dim; ++i) vals[i] = mv[i - 1];
+        res.evaluations += static_cast<int>(dim);
       }
     }
   }
@@ -113,13 +137,25 @@ OptResult NelderMead::minimize(const Objective& f,
 
 OptResult Spsa::minimize(const Objective& f,
                          std::vector<ValType> start) const {
+  return minimize(lift_objective(f), std::move(start));
+}
+
+OptResult Spsa::minimize(const BatchObjective& f,
+                         std::vector<ValType> start) const {
   const std::size_t dim = start.size();
   SVSIM_CHECK(dim >= 1, "SPSA needs at least one parameter");
   Rng rng(opt_.seed);
   OptResult res;
   std::vector<ValType> theta = start;
-  ValType best = f(theta);
-  ++res.evaluations;
+
+  auto eval1 = [&](const std::vector<ValType>& p) {
+    const std::vector<ValType> v = f({p});
+    SVSIM_CHECK(v.size() == 1, "batch objective returned wrong count");
+    ++res.evaluations;
+    return v[0];
+  };
+
+  const ValType best = eval1(theta);
   res.best_params = theta;
   res.best_value = best;
 
@@ -137,15 +173,17 @@ OptResult Spsa::minimize(const Objective& f,
       plus[i] += ck * delta[i];
       minus[i] -= ck * delta[i];
     }
-    const ValType fp = f(plus);
-    const ValType fm = f(minus);
+    // The probe pair is independent — one batched pass per iteration.
+    const std::vector<ValType> pm = f({plus, minus});
+    SVSIM_CHECK(pm.size() == 2, "batch objective returned wrong count");
+    const ValType fp = pm[0];
+    const ValType fm = pm[1];
     res.evaluations += 2;
 
     for (std::size_t i = 0; i < dim; ++i) {
       theta[i] -= ak * (fp - fm) / (2 * ck * delta[i]);
     }
-    const ValType fk = f(theta);
-    ++res.evaluations;
+    const ValType fk = eval1(theta);
     if (fk < res.best_value) {
       res.best_value = fk;
       res.best_params = theta;

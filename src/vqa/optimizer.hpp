@@ -13,6 +13,19 @@ namespace svsim::vqa {
 
 using Objective = std::function<ValType(const std::vector<ValType>&)>;
 
+/// Evaluate many parameter points in one pass, returning one value per
+/// point in order. The SPMD batched engine (vqa/batched.hpp's
+/// energy_objective) makes this a single lockstep sweep; both optimizers
+/// below route every independent evaluation group — the Nelder-Mead
+/// initial simplex and shrink step, SPSA's probe pair — through it.
+using BatchObjective = std::function<std::vector<ValType>(
+    const std::vector<std::vector<ValType>>&)>;
+
+/// Lift a scalar objective into a batch objective (sequential loop): the
+/// scalar minimize() entry points delegate through this, so scalar and
+/// batched paths share one implementation and identical evaluation order.
+BatchObjective lift_objective(Objective f);
+
 /// Result of one optimization run: best point, best value, and the value
 /// after every iteration (the trace Fig 16 plots).
 struct OptResult {
@@ -38,6 +51,13 @@ public:
   OptResult minimize(const Objective& f,
                      std::vector<ValType> start) const;
 
+  /// Batched variant: the initial simplex (dim+1 points) and every shrink
+  /// step (dim points) evaluate in one pass; the data-dependent
+  /// reflect/expand/contract probes stay sequential. Evaluation order and
+  /// results match the scalar overload exactly.
+  OptResult minimize(const BatchObjective& f,
+                     std::vector<ValType> start) const;
+
 private:
   Options opt_;
 };
@@ -60,6 +80,12 @@ public:
   explicit Spsa(const Options& opt) : opt_(opt) {}
 
   OptResult minimize(const Objective& f, std::vector<ValType> start) const;
+
+  /// Batched variant: each iteration's probe pair (theta ± ck·delta)
+  /// evaluates in one pass. Evaluation order and results match the
+  /// scalar overload exactly.
+  OptResult minimize(const BatchObjective& f,
+                     std::vector<ValType> start) const;
 
 private:
   Options opt_;

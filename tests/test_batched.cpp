@@ -1,10 +1,17 @@
-// Tests for batched VQA simulation: member-by-member equivalence with
-// sequential SingleSim execution, batched expectations, and the sweep
-// helper.
+// Tests for the SPMD batched engine and its VQA adapter: member-by-member
+// equivalence with sequential SingleSim execution (including exec-mask
+// divergence through mid-circuit measure/reset), masked vs all-lanes-on
+// kernel paths, divergent measurement statistics, ragged batches that
+// exercise the scalar tail, runtime SIMD-dispatch clamping, batched
+// expectations, the sweep helper, and the batched optimizer overloads.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/batched_sim.hpp"
 #include "core/single_sim.hpp"
 #include "vqa/batched.hpp"
+#include "vqa/optimizer.hpp"
 #include "vqa/vqe.hpp"
 
 namespace svsim::vqa {
@@ -78,13 +85,27 @@ TEST(Batched, ValidatesInputs) {
   BatchedSim sim(2, 2);
   EXPECT_THROW(sim.run_fresh(ansatz, {{0.1}}), Error); // wrong batch size
   EXPECT_THROW(sim.state(5), Error);
+}
 
+TEST(Batched, MeasuringAnsatzRunsAndDivergesPerMember) {
+  // The old prototype rejected non-unitary ansatze; the SPMD engine runs
+  // them with exec-masked kernels, member b on RNG stream seed + b.
   ParamCircuit measuring(2);
   measuring.fixed(make_gate(OP::H, 0));
   Gate m = make_gate(OP::M, 0);
   m.cbit = 0;
   measuring.fixed(m);
-  EXPECT_THROW(sim.run_fresh(measuring, {{}, {}}), Error);
+
+  const int B = 6;
+  BatchedSim sim(2, B);
+  sim.run_fresh(measuring, std::vector<std::vector<ValType>>(B));
+  for (int b = 0; b < B; ++b) {
+    const auto cb = sim.engine().member_cbits(b);
+    const StateVector sv = sim.state(b);
+    // Collapsed state must agree with the recorded classical bit.
+    EXPECT_NEAR(sv.prob_of_qubit(0), static_cast<ValType>(cb[0]), 1e-12)
+        << "member " << b;
+  }
 }
 
 TEST(Batched, FindsSameMinimumAsSequentialGrid) {
@@ -97,6 +118,233 @@ TEST(Batched, FindsSameMinimumAsSequentialGrid) {
   ValType best = 1e9;
   for (const ValType e : energies) best = std::min(best, e);
   EXPECT_NEAR(best, h2.ground_energy(), 5e-3); // grid resolution limited
+}
+
+TEST(BatchedEngine, MaskedAndAllOnMeasurePathsMatchSolo) {
+  // All-lanes-on fast path: |11> measures deterministically, every member
+  // collapses the same way. Masked path: H puts every member on a coin
+  // flip and they diverge on their own streams. Both must reproduce a
+  // solo run at seed + b bit-for-bit in classical outcomes.
+  for (const bool divergent : {false, true}) {
+    Circuit c(3);
+    if (divergent) {
+      c.h(0);
+      c.h(1);
+      c.h(2);
+    } else {
+      c.x(0);
+      c.x(1);
+    }
+    c.measure(0, 0);
+    c.cx(0, 2);
+    c.measure(1, 1);
+    c.reset(0);
+    c.measure(2, 2);
+
+    const IdxType B = 8;
+    SimConfig cfg;
+    cfg.seed = 321;
+    svsim::BatchedSim sim(3, B, cfg);
+    sim.run_fresh(c);
+    bool saw_divergence = false;
+    for (IdxType b = 0; b < B; ++b) {
+      SimConfig scfg;
+      scfg.seed = 321 + static_cast<std::uint64_t>(b);
+      SingleSim solo(3, scfg);
+      solo.run(c);
+      EXPECT_EQ(sim.member_cbits(b), solo.cbits())
+          << "member " << b << " divergent=" << divergent;
+      EXPECT_LT(sim.state(b).max_diff(solo.state()), 1e-11)
+          << "member " << b << " divergent=" << divergent;
+      if (sim.member_cbits(b) != sim.member_cbits(0)) saw_divergence = true;
+    }
+    EXPECT_EQ(saw_divergence, divergent);
+  }
+}
+
+TEST(BatchedEngine, DivergentMeasurementStatisticsMatchAnalytic) {
+  // RY(theta) gives P(1) = sin^2(theta/2); each member measures on its
+  // own stream, so across a wide batch the 1s-fraction must sit within
+  // binomial noise of the analytic probability.
+  const double p1 = 0.7;
+  const IdxType B = 256;
+  SimConfig cfg;
+  cfg.seed = 2026;
+  svsim::BatchedSim sim(1, B, cfg);
+  Circuit c(1);
+  c.ry(2.0 * std::asin(std::sqrt(p1)), 0);
+  c.measure(0, 0);
+  sim.run_fresh(c);
+  double ones = 0;
+  for (IdxType b = 0; b < B; ++b) {
+    ones += static_cast<double>(sim.member_cbits(b)[0]);
+  }
+  // 5 sigma = 5 * sqrt(p(1-p)/B) ~ 0.143.
+  EXPECT_NEAR(ones / static_cast<double>(B), p1, 0.15);
+}
+
+TEST(BatchedEngine, ReseedReplaysChunkedCampaignExactly) {
+  // The chunked-shot-campaign idiom: one engine, reseed(seed + base) per
+  // chunk. Chunk member b must replay a fresh engine at seed + base + b —
+  // reseed is a full reset (state, cbits, RNG streams), not just a seed
+  // swap.
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure(0, 0);
+  c.reset(0);
+  c.ry(0.8, 2);
+  c.measure(2, 1);
+
+  const IdxType B = 4;
+  SimConfig cfg;
+  cfg.seed = 7;
+  svsim::BatchedSim sim(3, B, cfg);
+  for (IdxType base = 0; base < 12; base += B) {
+    sim.reseed(7 + static_cast<std::uint64_t>(base));
+    sim.run(c);
+    for (IdxType b = 0; b < B; ++b) {
+      SimConfig fcfg;
+      fcfg.seed = 7 + static_cast<std::uint64_t>(base + b);
+      svsim::BatchedSim fresh(3, 1, fcfg);
+      fresh.run_fresh(c);
+      EXPECT_EQ(sim.member_cbits(b), fresh.member_cbits(0))
+          << "base " << base << " member " << b;
+      EXPECT_LT(sim.state(b).max_diff(fresh.state(0)), 1e-12)
+          << "base " << base << " member " << b;
+    }
+  }
+}
+
+TEST(BatchedEngine, RaggedBatchMatchesSoloIncludingSamples) {
+  // B = 5 is not a multiple of any lane width, so the SIMD chunks leave a
+  // scalar tail; measure/reset and the sampling pass must still replay
+  // solo seed+b exactly.
+  const IdxType B = 5;
+  const IdxType shots = 64;
+  SimConfig cfg;
+  cfg.seed = 99;
+  svsim::BatchedSim sim(4, B, cfg);
+  Circuit c(4);
+  c.h(0);
+  c.cx(0, 1);
+  c.u3(0.4, -0.9, 2.2, 2);
+  c.measure(1, 1);
+  c.reset(0);
+  c.h(3);
+  c.measure(3, 3);
+  c.crz(0.3, 2, 3);
+  sim.run_fresh(c);
+
+  // Snapshot before sampling: the sampling pass reruns a measure-all
+  // circuit through the engine and clears the classical register.
+  std::vector<StateVector> states;
+  std::vector<std::vector<IdxType>> cbits;
+  for (IdxType b = 0; b < B; ++b) {
+    states.push_back(sim.state(b));
+    cbits.push_back(sim.member_cbits(b));
+  }
+  const auto samples = sim.sample_members(shots);
+
+  for (IdxType b = 0; b < B; ++b) {
+    SimConfig scfg;
+    scfg.seed = 99 + static_cast<std::uint64_t>(b);
+    SingleSim solo(4, scfg);
+    solo.run(c);
+    EXPECT_LT(states[static_cast<std::size_t>(b)].max_diff(solo.state()),
+              1e-11)
+        << "member " << b;
+    EXPECT_EQ(cbits[static_cast<std::size_t>(b)], solo.cbits())
+        << "member " << b;
+    EXPECT_EQ(samples[static_cast<std::size_t>(b)], solo.sample(shots))
+        << "member " << b;
+  }
+}
+
+TEST(BatchedEngine, RuntimeDispatchClampsAndMatchesScalar) {
+  // Requesting a wider level than the build/CPU carries must clamp to the
+  // widest available lane (never throw) and agree with a forced-scalar
+  // run of the same circuit and seed.
+  Circuit c(3);
+  c.h(0);
+  c.u3(0.4, 1.1, -0.7, 1);
+  c.cx(0, 1);
+  c.rzz(0.37, 1, 2);
+  c.measure(0, 0);
+  c.ry(0.9, 2);
+
+  SimConfig wide;
+  wide.seed = 7;
+  wide.simd = SimdLevel::kAvx512;
+  svsim::BatchedSim a(3, 6, wide);
+  EXPECT_LE(static_cast<int>(a.simd_level()),
+            static_cast<int>(max_simd_level()));
+  EXPECT_GE(a.lane_width(), 1);
+  a.run_fresh(c);
+
+  SimConfig narrow;
+  narrow.seed = 7;
+  narrow.simd = SimdLevel::kScalar;
+  svsim::BatchedSim s(3, 6, narrow);
+  EXPECT_EQ(s.simd_level(), SimdLevel::kScalar);
+  EXPECT_EQ(s.lane_width(), 1);
+  s.run_fresh(c);
+
+  for (IdxType b = 0; b < 6; ++b) {
+    EXPECT_EQ(a.member_cbits(b), s.member_cbits(b)) << "member " << b;
+    EXPECT_LT(a.state(b).max_diff(s.state(b)), 1e-12) << "member " << b;
+  }
+}
+
+TEST(BatchedOptimizer, BatchObjectiveMatchesScalarPathExactly) {
+  // The scalar minimize() delegates through lift_objective, so a batch
+  // objective that evaluates the same function must reproduce the scalar
+  // result bit-for-bit — and must actually receive multi-point batches.
+  const Objective f = [](const std::vector<ValType>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + 2.0 * (x[1] + 0.5) * (x[1] + 0.5) +
+           0.3 * x[0] * x[1];
+  };
+  std::size_t max_batch = 0;
+  const BatchObjective bf =
+      [&](const std::vector<std::vector<ValType>>& pts) {
+        max_batch = std::max(max_batch, pts.size());
+        std::vector<ValType> vals;
+        for (const auto& p : pts) vals.push_back(f(p));
+        return vals;
+      };
+
+  NelderMead nm;
+  const OptResult ns = nm.minimize(f, {0.0, 0.0});
+  const OptResult nb = nm.minimize(bf, {0.0, 0.0});
+  EXPECT_EQ(ns.best_params, nb.best_params);
+  EXPECT_EQ(ns.best_value, nb.best_value);
+  EXPECT_EQ(ns.trace, nb.trace);
+  EXPECT_EQ(ns.evaluations, nb.evaluations);
+  EXPECT_GE(max_batch, 3u); // the dim+1 simplex init came through batched
+
+  max_batch = 0;
+  Spsa::Options so;
+  so.max_iterations = 40;
+  Spsa spsa(so);
+  const OptResult ss = spsa.minimize(f, {0.0, 0.0});
+  const OptResult sb = spsa.minimize(bf, {0.0, 0.0});
+  EXPECT_EQ(ss.best_params, sb.best_params);
+  EXPECT_EQ(ss.best_value, sb.best_value);
+  EXPECT_EQ(ss.trace, sb.trace);
+  EXPECT_EQ(ss.evaluations, sb.evaluations);
+  EXPECT_GE(max_batch, 2u); // the probe pair came through batched
+}
+
+TEST(BatchedOptimizer, EnergyObjectiveFindsH2GroundState) {
+  // The batched VQE objective: simplex evaluations ride the SPMD engine.
+  const Hamiltonian h2 = h2_hamiltonian();
+  NelderMead::Options opt;
+  opt.max_iterations = 60;
+  opt.initial_step = 0.3;
+  NelderMead nm(opt);
+  const OptResult r =
+      nm.minimize(energy_objective(2, h2_ucc_ansatz(), h2, 4), {0.0});
+  EXPECT_NEAR(r.best_value, h2.ground_energy(), 1e-5);
 }
 
 } // namespace

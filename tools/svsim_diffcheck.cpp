@@ -151,8 +151,9 @@ int main(int argc, char** argv) {
       const Circuit c = random_circuit(gen, mix_seed(opt.seed, i));
       failures += diff_one(c, "c" + std::to_string(i), opt);
     }
-    std::cout << "diff: " << opt.circuits << " circuits x 16 configs, "
-              << failures << " divergence(s)\n";
+    std::cout << "diff: " << opt.circuits << " circuits x "
+              << default_sweep(opt.workers, opt.seed, opt.shots, opt.tol).size()
+              << " configs, " << failures << " divergence(s)\n";
 
     // Phase 2: QASM round-trip fuzzing.
     int rt_failures = 0;
