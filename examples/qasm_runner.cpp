@@ -7,7 +7,14 @@
 //                            coarse|generalized] [--workers K] [--shots N]
 //                            [--batch B] [--profile trace.json] [--report]
 //                            [--report-json report.json] [--roofline]
-//                            [--metrics] [--serve PORT]
+//                            [--metrics] [--serve PORT] [--estimate]
+//
+// --estimate prices the run instead of executing it: the analytic
+// footprint of the chosen backend/qubit-count/worker/batch combination is
+// printed component by component next to the host's MemAvailable (and the
+// SVSIM_MEM_LIMIT / SimConfig::mem_limit budget when one is set), with a
+// fits / would-NOT-fit verdict. Exit status 0 when the run fits, 4 when
+// it would not — so schedulers can gate submission without running.
 //
 // --batch B (or SVSIM_BATCH=B) routes the run through the SPMD batched
 // engine: B independent copies of the circuit evolve in lockstep, each on
@@ -55,6 +62,7 @@
 #include "common/bits.hpp"
 
 #include "common/timer.hpp"
+#include "obs/capacity.hpp"
 #include "obs/flight.hpp"
 #include "obs/httpd.hpp"
 #include "obs/registry.hpp"
@@ -116,6 +124,7 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("SVSIM_BATCH")) batch = std::atoll(env);
   bool want_report = false;
   bool want_metrics = false;
+  bool want_estimate = false;
   std::string report_json_path;
   SimConfig cfg;
   for (int i = 1; i < argc; ++i) {
@@ -135,6 +144,8 @@ int main(int argc, char** argv) {
       want_report = true;
     } else if (arg == "--metrics") {
       want_metrics = true;
+    } else if (arg == "--estimate") {
+      want_estimate = true;
     } else if (arg == "--report-json" && i + 1 < argc) {
       report_json_path = argv[++i];
     } else if (arg == "--serve" && i + 1 < argc) {
@@ -179,6 +190,22 @@ int main(int argc, char** argv) {
                 static_cast<long long>(circuit.n_qubits()),
                 static_cast<long long>(circuit.n_gates()),
                 static_cast<long long>(circuit.cx_count()));
+
+    if (want_estimate) {
+      // Price the run without executing it. The same estimator backs the
+      // admission check inside the backends and the estimate-vs-measured
+      // comparison in the run report.
+      obs::FootprintQuery q;
+      q.backend = batch > 1 ? "batched" : backend;
+      q.n_qubits = circuit.n_qubits();
+      q.workers = workers;
+      q.batch = batch;
+      q.gates = circuit.n_gates();
+      const obs::FootprintEstimate est =
+          obs::estimate_footprint(q, cfg.mem_limit);
+      std::printf("%s", est.table().c_str());
+      return est.fits ? 0 : 4;
+    }
 
     std::unique_ptr<Simulator> sim;
     std::unique_ptr<BatchedSim> bsim;

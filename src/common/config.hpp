@@ -69,6 +69,13 @@ struct SimConfig {
   /// paths run at synchronization frequency, not per amplitude), 0 = off,
   /// 1 = on. SVSIM_WAITSTATS=<0|1> overrides auto.
   int waitstats = -1;
+  /// Resident-memory admission limit in bytes (obs/capacity): every
+  /// backend constructor prices its footprint analytically and throws a
+  /// clear Error instead of OOM-killing mid-circuit when the estimate
+  /// exceeds the limit. 0 = no limit from the config; SVSIM_MEM_LIMIT
+  /// (bytes, "16G"-style suffixed size, or `auto` = MemAvailable) is the
+  /// environment fallback.
+  std::uint64_t mem_limit = 0;
   /// Embedded telemetry endpoint (obs/httpd + obs/progress): bind
   /// 127.0.0.1:<port> (0 = kernel-assigned) and serve GET /metrics,
   /// /healthz, /progress, /report while the process runs; also turns on

@@ -10,6 +10,7 @@
 #include "ir/matrices.hpp"
 #include "ir/schedule.hpp"
 #include "machine/model.hpp"
+#include "obs/capacity.hpp"
 #include "obs/counters.hpp"
 #include "obs/httpd.hpp"
 #include "obs/perfmodel.hpp"
@@ -105,8 +106,8 @@ bool same_gate(const Gate& a, const Gate& b) {
 struct BatchedSim::Plan {
   std::vector<Gate> key;         // gates the plan was compiled from
   bool combine = false;          // SVSIM_BATCH_COMBINE at compile time
-  AlignedBuffer<ValType> coef;   // per-gate coefficient rows
-  AlignedBuffer<ValType> mcoef;  // combined-slot coefficient rows
+  obs::TrackedBuffer<ValType> coef;  // per-gate coefficient rows
+  obs::TrackedBuffer<ValType> mcoef; // combined-slot coefficient rows
   std::vector<BDev> dev;
   Schedule sched;
   bool sched_active = false;
@@ -118,11 +119,11 @@ BatchedSim::~BatchedSim() = default;
 
 BatchedSim::BatchedSim(IdxType n_qubits, IdxType batch, SimConfig cfg)
     : n_(n_qubits),
-      dim_(pow2(n_qubits)),
+      dim_(obs::admit_dim("batched", n_qubits, 1, batch, cfg.mem_limit)),
       batch_(batch),
       cfg_(cfg),
-      real_(static_cast<std::size_t>(dim_ * batch)),
-      imag_(static_cast<std::size_t>(dim_ * batch)),
+      real_(static_cast<std::size_t>(dim_ * batch), obs::MemTag::kBatch),
+      imag_(static_cast<std::size_t>(dim_ * batch), obs::MemTag::kBatch),
       cbits_(static_cast<std::size_t>(n_qubits * batch), 0) {
   SVSIM_CHECK(batch >= 1, "batch must be >= 1");
   rngs_.reserve(static_cast<std::size_t>(batch_));
@@ -212,8 +213,8 @@ void BatchedSim::execute(const Circuit& circuit,
   if (!plan_hit) {
   plan = Plan{};
   plan.combine = combine_on;
-  AlignedBuffer<ValType>& coef = plan.coef;
-  AlignedBuffer<ValType>& mcoef = plan.mcoef;
+  obs::TrackedBuffer<ValType>& coef = plan.coef;
+  obs::TrackedBuffer<ValType>& mcoef = plan.mcoef;
   std::vector<BDev>& dev = plan.dev;
   Schedule& sched = plan.sched;
   bool& sched_active = plan.sched_active;
@@ -225,7 +226,8 @@ void BatchedSim::execute(const Circuit& circuit,
   for (const Gate& g : gates) {
     total_rows += static_cast<std::size_t>(kernels::batched_coef_rows(g.op));
   }
-  coef = AlignedBuffer<ValType>(total_rows * static_cast<std::size_t>(batch_));
+  coef = obs::TrackedBuffer<ValType>(
+      total_rows * static_cast<std::size_t>(batch_), obs::MemTag::kCoef);
   dev.assign(gates.size(), BDev{});
   std::size_t row = 0;
   for (std::size_t i = 0; i < gates.size(); ++i) {
@@ -351,8 +353,8 @@ void BatchedSim::execute(const Circuit& circuit,
       }
     }
     if (merge_rows > 0) {
-      mcoef = AlignedBuffer<ValType>(merge_rows *
-                                     static_cast<std::size_t>(batch_));
+      mcoef = obs::TrackedBuffer<ValType>(
+          merge_rows * static_cast<std::size_t>(batch_), obs::MemTag::kCoef);
       const auto member_gate = [&](IdxType gi, IdxType b) -> const Gate& {
         return members != nullptr
                    ? (*members)[static_cast<std::size_t>(b)]

@@ -36,6 +36,7 @@
 #include "common/rng.hpp"
 #include "core/state_vector.hpp"
 #include "ir/circuit.hpp"
+#include "obs/memtrack.hpp"
 #include "obs/report.hpp"
 
 namespace svsim {
@@ -100,7 +101,10 @@ public:
   /// per member, concatenated member-major and truncated to `shots`.
   std::vector<IdxType> sample(IdxType shots);
 
-  const obs::RunReport& last_report() const { return report_; }
+  const obs::RunReport& last_report() const {
+    if (!report_.backend.empty()) obs::fold_memory(report_);
+    return report_;
+  }
 
   /// Direct access to the batch-innermost amplitude arrays ([k*B + b]) —
   /// the vqa expectation pass and tests read these.
@@ -119,13 +123,13 @@ private:
   IdxType dim_;
   IdxType batch_;
   SimConfig cfg_;
-  AlignedBuffer<ValType> real_; // [k*batch_ + b]
-  AlignedBuffer<ValType> imag_;
+  obs::TrackedBuffer<ValType> real_; // [k*batch_ + b]
+  obs::TrackedBuffer<ValType> imag_;
   std::vector<Rng> rngs_;        // member streams, b seeded cfg.seed + b
   std::vector<IdxType> cbits_;   // [cbit*batch_ + b]
   std::vector<IdxType> results_; // measure-all: [b*n_shots + s]
   IdxType ma_shots_ = 0;
-  obs::RunReport report_;
+  mutable obs::RunReport report_; // lazy memory fold in last_report()
   /// Compiled execution plan (coefficient upload, window schedule,
   /// combining) for the last uniform run() circuit. Seed-independent, so
   /// a chunked shot campaign — reseed(); run(same circuit) — pays the

@@ -486,7 +486,7 @@ private:
 
 CoarseMsgSim::CoarseMsgSim(IdxType n_qubits, int n_ranks, SimConfig cfg)
     : n_(n_qubits),
-      dim_(pow2(n_qubits)),
+      dim_(obs::admit_dim("coarse-msg", n_qubits, n_ranks, 1, cfg.mem_limit)),
       n_ranks_(n_ranks),
       cfg_(cfg),
       cbits_(static_cast<std::size_t>(n_qubits), 0) {
@@ -496,9 +496,9 @@ CoarseMsgSim::CoarseMsgSim(IdxType n_qubits, int n_ranks, SimConfig cfg)
   lg_part_ = n_ - log2_exact(n_ranks);
   const auto per = static_cast<std::size_t>(pow2(lg_part_));
   for (int r = 0; r < n_ranks; ++r) {
-    real_parts_.emplace_back(per);
-    imag_parts_.emplace_back(per);
-    mailboxes_.push_back(std::make_unique<Mailbox>(n_ranks));
+    real_parts_.emplace_back(per, obs::MemTag::kState, r);
+    imag_parts_.emplace_back(per, obs::MemTag::kState, r);
+    mailboxes_.push_back(std::make_unique<Mailbox>(n_ranks, r));
   }
   real_parts_[0][0] = 1.0;
   rngs_.assign(static_cast<std::size_t>(n_ranks), Rng(cfg.seed));

@@ -34,10 +34,29 @@ namespace svsim {
 /// from each source are FIFO-ordered, like MPI with per-peer ordering.
 class Mailbox {
 public:
-  explicit Mailbox(int n_ranks)
-      : queues_(static_cast<std::size_t>(n_ranks)) {}
+  /// `owner` is the receiving rank — the PE in-flight payload bytes are
+  /// attributed to in the memory registry.
+  explicit Mailbox(int n_ranks, int owner = -1)
+      : owner_(owner), queues_(static_cast<std::size_t>(n_ranks)) {}
+
+  ~Mailbox() {
+    // Return any payloads still queued (a run torn down by an
+    // exception) so the transient accounting balances.
+    for (const auto& q : queues_) {
+      for (const auto& buf : q) {
+        obs::MemRegistry::global().adjust(
+            obs::MemTag::kMailbox,
+            -static_cast<std::int64_t>(buf.size() * sizeof(ValType)), owner_);
+      }
+    }
+  }
 
   void send(int src, std::vector<ValType>&& buf) {
+    // In-flight payload bytes live in this mailbox until the matching
+    // recv; transient accounting (no stable address to NUMA-sample).
+    obs::MemRegistry::global().adjust(
+        obs::MemTag::kMailbox,
+        static_cast<std::int64_t>(buf.size() * sizeof(ValType)), owner_);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queues_[static_cast<std::size_t>(src)].push_back(std::move(buf));
@@ -54,10 +73,15 @@ public:
     cv_.wait(lock, [&] { return !q.empty(); });
     std::vector<ValType> buf = std::move(q.front());
     q.pop_front();
+    lock.unlock();
+    obs::MemRegistry::global().adjust(
+        obs::MemTag::kMailbox,
+        -static_cast<std::int64_t>(buf.size() * sizeof(ValType)), owner_);
     return buf;
   }
 
 private:
+  int owner_ = -1;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<std::deque<std::vector<ValType>>> queues_;
@@ -101,8 +125,8 @@ private:
   IdxType lg_part_;
   SimConfig cfg_;
 
-  std::vector<AlignedBuffer<ValType>> real_parts_;
-  std::vector<AlignedBuffer<ValType>> imag_parts_;
+  std::vector<obs::TrackedBuffer<ValType>> real_parts_;
+  std::vector<obs::TrackedBuffer<ValType>> imag_parts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   std::vector<IdxType> cbits_;

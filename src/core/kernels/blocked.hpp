@@ -32,6 +32,7 @@
 
 #include "core/dispatch.hpp"
 #include "ir/schedule.hpp"
+#include "obs/memtrack.hpp"
 #include "obs/report.hpp"
 
 namespace svsim {
@@ -197,6 +198,9 @@ struct SchedExec {
   IdxType block_exp = 0;
   Schedule sched;
   std::vector<std::vector<WindowAction<Space>>> actions; // per window
+  // Phase-table bytes held by the actions above; returned to the memory
+  // registry when the schedule is destroyed.
+  obs::MemAdjust table_mem{obs::MemTag::kPhaseTable};
 };
 
 namespace blocked_detail {
@@ -486,6 +490,7 @@ SchedExec<Space> prepare_sched(const Circuit& circuit,
     blocked_detail::build_window_actions(dc, w, b, per_gate_spans,
                                          &table_bytes, &ex.actions[wi]);
   }
+  ex.table_mem.add(static_cast<std::int64_t>(table_bytes));
   return ex;
 }
 

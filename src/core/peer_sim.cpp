@@ -16,7 +16,7 @@ namespace svsim {
 
 PeerSim::PeerSim(IdxType n_qubits, int n_devices, SimConfig cfg)
     : n_(n_qubits),
-      dim_(pow2(n_qubits)),
+      dim_(obs::admit_dim("peer", n_qubits, n_devices, 1, cfg.mem_limit)),
       n_dev_(n_devices),
       cfg_(cfg),
       cbits_(static_cast<std::size_t>(n_qubits), 0) {
@@ -29,8 +29,8 @@ PeerSim::PeerSim(IdxType n_qubits, int n_devices, SimConfig cfg)
   real_parts_.reserve(static_cast<std::size_t>(n_dev_));
   imag_parts_.reserve(static_cast<std::size_t>(n_dev_));
   for (int d = 0; d < n_dev_; ++d) {
-    real_parts_.emplace_back(per_dev);
-    imag_parts_.emplace_back(per_dev);
+    real_parts_.emplace_back(per_dev, obs::MemTag::kState, d);
+    imag_parts_.emplace_back(per_dev, obs::MemTag::kState, d);
     // The shared pointer array (Listing 4 lines 17-34).
     real_ptrs_.push_back(real_parts_.back().data());
     imag_ptrs_.push_back(imag_parts_.back().data());

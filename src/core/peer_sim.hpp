@@ -51,8 +51,8 @@ private:
   SimConfig cfg_;
 
   // One partition per device — "SAFE_ALOC_GPU(sv_real_ptr[d], ...)".
-  std::vector<AlignedBuffer<ValType>> real_parts_;
-  std::vector<AlignedBuffer<ValType>> imag_parts_;
+  std::vector<obs::TrackedBuffer<ValType>> real_parts_;
+  std::vector<obs::TrackedBuffer<ValType>> imag_parts_;
   // The shared pointer arrays broadcast to all devices.
   std::vector<ValType*> real_ptrs_;
   std::vector<ValType*> imag_ptrs_;

@@ -24,7 +24,7 @@ std::size_t default_heap_bytes(IdxType n_qubits, int n_pes) {
 ShmemSim::ShmemSim(IdxType n_qubits, int n_pes, SimConfig cfg,
                    std::size_t heap_bytes)
     : n_(n_qubits),
-      dim_(pow2(n_qubits)),
+      dim_(obs::admit_dim("shmem", n_qubits, n_pes, 1, cfg.mem_limit)),
       n_pes_(n_pes),
       cfg_(cfg),
       runtime_(n_pes, heap_bytes != 0 ? heap_bytes
@@ -32,6 +32,15 @@ ShmemSim::ShmemSim(IdxType n_qubits, int n_pes, SimConfig cfg,
       cbits_(static_cast<std::size_t>(n_qubits), 0) {
   SVSIM_CHECK(dim_ >= n_pes, "more PEs than amplitudes");
   lg_part_ = n_ - log2_exact(n_pes);
+
+  // The state planes live inside the symmetric-heap arenas; register
+  // each PE's whole arena (the shmem layer itself cannot link obs).
+  mem_ids_.reserve(static_cast<std::size_t>(n_pes_));
+  for (int pe = 0; pe < n_pes_; ++pe) {
+    mem_ids_.push_back(obs::MemRegistry::global().track(
+        obs::MemTag::kShmemHeap, runtime_.arena_base(pe),
+        runtime_.heap_bytes(), pe));
+  }
 
   real_sym_.assign(static_cast<std::size_t>(n_pes_), nullptr);
   imag_sym_.assign(static_cast<std::size_t>(n_pes_), nullptr);
@@ -49,6 +58,12 @@ ShmemSim::ShmemSim(IdxType n_qubits, int n_pes, SimConfig cfg,
     if (ctx.pe() == 0) r[0] = 1.0;
     ctx.barrier_all();
   });
+}
+
+ShmemSim::~ShmemSim() {
+  for (const std::uint64_t id : mem_ids_) {
+    obs::MemRegistry::global().untrack(id);
+  }
 }
 
 void ShmemSim::reset_state() {

@@ -28,6 +28,7 @@ public:
   /// partition of a state vector up to 2^26 amplitudes on 1 PE.
   ShmemSim(IdxType n_qubits, int n_pes, SimConfig cfg = {},
            std::size_t heap_bytes = 0);
+  ~ShmemSim() override;
 
   const char* name() const override { return "shmem"; }
   IdxType n_qubits() const override { return n_; }
@@ -66,6 +67,9 @@ private:
   MeasureCtx mctx_;
   std::vector<Rng> rngs_; // per-PE replicas, same seed
   shmem::TrafficStats last_traffic_;
+  // Memory-registry ids of the per-PE arenas (registered externally:
+  // the shmem layer itself cannot link the obs library).
+  std::vector<std::uint64_t> mem_ids_;
 };
 
 } // namespace svsim

@@ -16,8 +16,10 @@
 #include "core/state_vector.hpp"
 #include "ir/circuit.hpp"
 #include "ir/fusion.hpp"
+#include "obs/capacity.hpp"
 #include "obs/health.hpp"
 #include "obs/httpd.hpp"
+#include "obs/memtrack.hpp"
 #include "obs/perfmodel.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
@@ -86,6 +88,10 @@ public:
       report_.flight = obs::FlightRecorder::global().drain(flight_workers_);
       flight_workers_ = 0;
     }
+    // Memory is folded lazily like the flight drain: the registry
+    // snapshot + one synchronous RSS sample per report request, never
+    // per run().
+    if (!report_.backend.empty()) obs::fold_memory(report_);
     return report_;
   }
 

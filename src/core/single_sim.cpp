@@ -10,10 +10,10 @@ namespace svsim {
 
 SingleSim::SingleSim(IdxType n_qubits, SimConfig cfg)
     : n_(n_qubits),
-      dim_(pow2(n_qubits)),
+      dim_(obs::admit_dim("single", n_qubits, 1, 1, cfg.mem_limit)),
       cfg_(cfg),
-      real_(static_cast<std::size_t>(dim_)),
-      imag_(static_cast<std::size_t>(dim_)),
+      real_(static_cast<std::size_t>(dim_), obs::MemTag::kState, 0),
+      imag_(static_cast<std::size_t>(dim_), obs::MemTag::kState, 0),
       cbits_(static_cast<std::size_t>(n_qubits), 0),
       rng_(cfg.seed),
       table_(&local_kernel_table(cfg.simd)) {

@@ -47,8 +47,8 @@ private:
   IdxType n_;
   IdxType dim_;
   SimConfig cfg_;
-  AlignedBuffer<ValType> real_;
-  AlignedBuffer<ValType> imag_;
+  obs::TrackedBuffer<ValType> real_;
+  obs::TrackedBuffer<ValType> imag_;
   std::vector<IdxType> cbits_;
   std::vector<IdxType> results_;
   MeasureCtx mctx_;

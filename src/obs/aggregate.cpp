@@ -349,7 +349,13 @@ std::string Entry::line() const {
   os << ",\"critical\":";
   append_escaped(os, critical);
   os << ",\"remote_bytes\":" << static_cast<unsigned long long>(remote_bytes)
-     << '}';
+     << ",\"peak_rss_bytes\":"
+     << static_cast<unsigned long long>(peak_rss_bytes)
+     << ",\"tracked_peak_bytes\":"
+     << static_cast<unsigned long long>(tracked_peak_bytes)
+     << ",\"est_err_pct\":";
+  append_double(os, est_err_pct);
+  os << '}';
   return os.str();
 }
 
@@ -397,6 +403,16 @@ bool entry_from_report(const jsonlite::Value& report, Entry* out,
     out->remote_bytes =
         static_cast<std::uint64_t>(m->member_num("remote_bytes", 0));
   }
+  if (const jsonlite::Value* mem = report.find("memory");
+      mem != nullptr && mem->is_object() &&
+      mem->find("enabled") != nullptr &&
+      mem->find("enabled")->bool_or(false)) {
+    out->peak_rss_bytes =
+        static_cast<std::uint64_t>(mem->member_num("peak_rss", 0));
+    out->tracked_peak_bytes =
+        static_cast<std::uint64_t>(mem->member_num("tracked_peak", 0));
+    out->est_err_pct = mem->member_num("estimate_error", 0) * 100.0;
+  }
   out->rekey();
   return true;
 }
@@ -430,6 +446,11 @@ bool parse_line(const std::string& line, Entry* out, std::string* err) {
   out->critical = v.member_str("critical", "");
   out->remote_bytes =
       static_cast<std::uint64_t>(v.member_num("remote_bytes", 0));
+  out->peak_rss_bytes =
+      static_cast<std::uint64_t>(v.member_num("peak_rss_bytes", 0));
+  out->tracked_peak_bytes =
+      static_cast<std::uint64_t>(v.member_num("tracked_peak_bytes", 0));
+  out->est_err_pct = v.member_num("est_err_pct", 0);
   if (out->key.empty() || out->backend.empty() || out->wall_seconds < 0) {
     if (err != nullptr) *err = "ledger entry lacks key/backend/wall_seconds";
     return false;
@@ -459,9 +480,9 @@ std::string compare(std::vector<Entry> entries) {
        << ", w" << head.n_workers << ", " << head.total_gates << " gates, "
        << (head.cpu.empty() ? "unknown-cpu" : head.cpu) << ")\n";
     std::snprintf(buf, sizeof(buf),
-                  "    %-4s %12s %10s %10s %7s %8s %8s  %s\n", "run",
+                  "    %-4s %12s %10s %10s %7s %8s %8s %10s %8s  %s\n", "run",
                   "wall ms", "compute", "wait", "imbal", "vs prev", "vs best",
-                  "critical");
+                  "peak rss", "est err", "critical");
     os << buf;
     for (std::size_t k = i; k < j; ++k) {
       const Entry& e = entries[k];
@@ -476,10 +497,20 @@ std::string compare(std::vector<Entry> entries) {
         std::snprintf(dbest, sizeof(dbest), "%+.1f%%",
                       (e.wall_seconds / best - 1.0) * 100.0);
       }
+      // "-" for pre-memory ledger lines or runs with the plane off.
+      char rss[16] = "-";
+      char eerr[16] = "-";
+      if (e.peak_rss_bytes > 0) {
+        std::snprintf(rss, sizeof(rss), "%.1fM",
+                      static_cast<double>(e.peak_rss_bytes) / (1024.0 * 1024.0));
+      }
+      if (e.tracked_peak_bytes > 0) {
+        std::snprintf(eerr, sizeof(eerr), "%+.1f%%", e.est_err_pct);
+      }
       std::snprintf(buf, sizeof(buf),
-                    "    %-4zu %12.3f %10.3f %10.3f %7.2f %8s %8s  %s\n",
+                    "    %-4zu %12.3f %10.3f %10.3f %7.2f %8s %8s %10s %8s  %s\n",
                     k - i, e.wall_seconds * 1e3, e.compute_s * 1e3,
-                    e.wait_s * 1e3, e.imbalance, dprev, dbest,
+                    e.wait_s * 1e3, e.imbalance, dprev, dbest, rss, eerr,
                     e.critical.empty() ? "-" : e.critical.c_str());
       os << buf;
     }

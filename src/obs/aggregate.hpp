@@ -142,6 +142,11 @@ struct Entry {
   double imbalance = 0;
   std::string critical; // "PE 2 / cx" or ""
   std::uint64_t remote_bytes = 0;
+  // Memory plane (additive svsim-ledger-v1 fields; 0 = plane off or a
+  // pre-memory ledger line).
+  std::uint64_t peak_rss_bytes = 0;    // max(VmHWM, last VmRSS) sampled
+  std::uint64_t tracked_peak_bytes = 0; // registry high-water mark
+  double est_err_pct = 0; // (estimate − tracked peak)/peak, percent
 
   /// Derive `key` from the identity fields.
   void rekey();

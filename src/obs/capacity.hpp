@@ -1,0 +1,83 @@
+// obs::capacity — analytic pre-run footprint estimation and admission
+// control ("will this job fit?").
+//
+// The estimate is closed-form from the run's shape: 2^n amplitudes × 16
+// bytes (split re/im double planes) × the backend's multiplier — the
+// batched engine's B lockstep lanes, the shmem runtime's per-PE
+// symmetric-heap arenas (which mirror ShmemSim's default sizing), the
+// coarse baseline's in-flight message payloads, the oracle's dense
+// reference state. test_memtrack pins the estimate within 10% of the
+// MemRegistry-measured peak for the single/peer/shmem/batched backends.
+//
+// Admission control: `qasm_runner --estimate` prints the component table
+// and exits 4 when the job would not fit; SVSIM_MEM_LIMIT (bytes, a
+// "16G"-style suffixed size, or `auto` = MemAvailable at startup) makes
+// every backend constructor fail fast with a clear message instead of
+// OOM-killing mid-circuit — the one-line call ROADMAP item 1's
+// multi-tenant admission needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace svsim::obs {
+
+/// Shape of a prospective run, enough to price its resident footprint.
+struct FootprintQuery {
+  std::string backend = "single"; // name() string; "batched" for B lanes
+  IdxType n_qubits = 0;
+  int workers = 1;
+  IdxType batch = 1;
+  std::uint64_t gates = 0;          // sizes the batched coefficient slab
+  std::uint64_t shmem_heap_bytes = 0; // per-PE override; 0 = default sizing
+};
+
+/// The priced footprint plus the fit verdict against the resolved limit.
+struct FootprintEstimate {
+  struct Component {
+    std::string name;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Component> components;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t avail_bytes = 0; // MemAvailable at estimate time (0 unknown)
+  std::uint64_t limit_bytes = 0; // resolved limit (0 = none configured)
+  std::string limit_source;      // "config" | "env" | "" (none)
+  bool fits = true; // vs the limit when set, else vs MemAvailable
+
+  /// Human component table + fit verdict for `qasm_runner --estimate`.
+  std::string table() const;
+};
+
+/// Price `q`'s resident footprint and render the fit verdict against
+/// `config_limit` (SimConfig::mem_limit; 0 falls back to SVSIM_MEM_LIMIT,
+/// then to the host's MemAvailable for the verdict only).
+FootprintEstimate estimate_footprint(const FootprintQuery& q,
+                                     std::uint64_t config_limit = 0);
+
+/// MemAvailable from /proc/meminfo, 0 where unreadable.
+std::uint64_t mem_available_bytes();
+
+/// Parse a byte size: plain digits, a K/M/G/T-suffixed size ("16G"), or
+/// "auto" (MemAvailable). False on garbage.
+bool parse_mem_limit(const std::string& text, std::uint64_t* out);
+
+/// SVSIM_MEM_LIMIT resolved to bytes (0 = unset/garbage). Read once.
+std::uint64_t env_mem_limit();
+
+/// Fail-fast admission check every backend constructor runs before its
+/// first allocation: throws svsim::Error when a limit is configured
+/// (SimConfig::mem_limit or SVSIM_MEM_LIMIT) and `q` would exceed it.
+/// Also captures the pre-allocation RSS baseline for the memory report.
+void enforce_mem_limit(const FootprintQuery& q, std::uint64_t config_limit);
+
+/// enforce_mem_limit() packaged for a constructor init list: runs the
+/// admission check for (backend, n, W, B) and returns 2^n, so the check
+/// is sequenced before the state allocation it gates.
+IdxType admit_dim(const char* backend, IdxType n_qubits, int workers,
+                  IdxType batch, std::uint64_t config_limit);
+
+} // namespace svsim::obs

@@ -12,6 +12,7 @@
 #include "common/logging.hpp"
 #include "obs/flight.hpp"
 #include "obs/health.hpp"
+#include "obs/memtrack.hpp"
 #include "obs/progress.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
@@ -147,10 +148,18 @@ void handle_request(int fd, const std::string& method,
                    "X-Svsim-Partial: 1");
     return;
   }
+  if (path == "/memory") {
+    // Sample synchronously so a scrape always carries fresh RSS/NUMA
+    // numbers even between sampler ticks (or with the sampler idle).
+    MemRegistry::global().sample_now();
+    write_response(fd, 200, "application/json",
+                   memory_json(MemRegistry::global().snapshot()), nullptr);
+    return;
+  }
   if (path == "/" || path.empty()) {
     write_response(fd, 200, "text/plain; charset=utf-8",
                    "svsim telemetry endpoints: /metrics /healthz /progress "
-                   "/report\n",
+                   "/report /memory\n",
                    nullptr);
     return;
   }

@@ -1,0 +1,337 @@
+// obs::memtrack — tagged allocation registry + RSS/NUMA sampling: the
+// bytes-resident leg of the observability plane.
+//
+// The simulator's defining resource is memory: a 2^n state vector is 16
+// bytes per amplitude before any backend multiplier, and per-node
+// footprint is what gates weak scaling. This module makes bytes-resident
+// a first-class observable:
+//
+//  * TrackedBuffer<T> wraps common/aligned.hpp's AlignedBuffer with a
+//    component tag (state planes, batched lanes, shmem heap, mailboxes,
+//    phase tables, oracle scratch) and an owning PE, registering every
+//    large allocation with the process-global MemRegistry — current and
+//    peak bytes per tag and per PE, plus the high-water timestamp on the
+//    shared trace clock.
+//  * MemRegistry also runs a low-rate background sampler reading
+//    /proc/self/status (VmRSS/VmHWM), /proc/self/smaps_rollup (THP), and
+//    querying page placement of tracked buffers via the move_pages(2) /
+//    get_mempolicy(2) syscalls for per-NUMA-node attribution. Like the
+//    perf-counter tier, everything degrades gracefully: on non-Linux or
+//    locked-down containers the sample is marked unavailable with the
+//    reason string, and the tag accounting — which needs no kernel help —
+//    keeps working.
+//  * fold_memory() joins the registry snapshot and the capacity
+//    estimator (obs/capacity.hpp) into RunReport::memory, the additive
+//    `memory` section of svsim-report-v1.
+//
+// Activation: on by default; SVSIM_MEMTRACK=0 disables the registry (and
+// with it the sampler thread) for overhead-sensitive runs. The sampler
+// only runs while tracked allocations are live, and its cadence is
+// SVSIM_MEMTRACK_MS (default 25 ms).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace svsim::obs {
+
+struct RunReport;
+
+/// Component tags for tracked allocations. Keep mem_tag_name() in sync.
+enum class MemTag : int {
+  kState = 0,   // re/im amplitude planes (single/peer/coarse/generalized)
+  kBatch,       // batch-innermost lanes (BatchedSim)
+  kShmemHeap,   // symmetric-heap arenas (shmem runtime, one per PE)
+  kMailbox,     // coarse baseline's in-flight message payloads
+  kPhaseTable,  // blocked scheduler's per-window diagonal phase tables
+  kCoef,        // batched engine's per-plan coefficient rows
+  kOracle,      // dense-matrix oracle state (testing tier)
+  kOther,
+};
+inline constexpr int kNumMemTags = 8;
+
+/// Static display name ("state", "shmem_heap", ...).
+const char* mem_tag_name(MemTag tag);
+
+/// SVSIM_MEMTRACK from the environment: 0 disables the registry.
+/// Read once per process; 1 (on) when unset.
+int env_memtrack();
+
+/// Point-in-time view of everything the registry knows. All byte counts
+/// are the 64-byte-rounded sizes the allocator actually reserved.
+struct MemorySnapshot {
+  bool enabled = false;
+
+  // Tag accounting (exact, kernel-independent).
+  std::uint64_t current = 0;
+  std::uint64_t peak = 0;
+  double peak_ts_us = 0; // trace-clock time the peak was set
+  struct TagStat {
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+  };
+  TagStat by_tag[kNumMemTags] = {};
+  struct PeStat {
+    int pe = -1;
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+    int node = -1; // dominant NUMA node of this PE's pages (-1 unknown)
+  };
+  std::vector<PeStat> per_pe; // PEs seen, ascending; pe -1 rows omitted
+
+  // Process sample (/proc). `sampled == false` + error is the graceful
+  // degradation on hosts without a readable procfs.
+  bool sampled = false;
+  std::string sample_error;
+  std::uint64_t rss_bytes = 0;      // VmRSS at the last sample
+  std::uint64_t hwm_bytes = 0;      // VmHWM (kernel high-water, robust
+                                    // against the sampler's low rate)
+  std::uint64_t baseline_rss = 0;   // VmRSS before the first tracked alloc
+  std::uint64_t thp_bytes = 0;      // AnonHugePages from smaps_rollup
+  std::uint64_t samples = 0;        // samples taken so far
+
+  // NUMA placement of tracked pages. `numa == false` + error on
+  // single-node / containerized hosts where the syscalls are denied.
+  bool numa = false;
+  std::string numa_error;
+  std::vector<std::uint64_t> node_bytes; // tracked bytes per NUMA node
+};
+
+/// Process-global registry of tracked allocations. All mutation takes a
+/// mutex — registration happens per *allocation*, not per gate, so this
+/// is nowhere near the hot path.
+class MemRegistry {
+public:
+  static MemRegistry& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Environment variables are read once, so benches that want an
+  /// off/on overhead pair within one process toggle this directly.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Register `bytes` of live memory at `ptr` under `tag`, owned by `pe`
+  /// (-1 = unowned). Returns an id for untrack(), 0 when disabled.
+  std::uint64_t track(MemTag tag, const void* ptr, std::size_t bytes, int pe);
+  void untrack(std::uint64_t id);
+
+  /// Account transient memory with no stable address (in-flight message
+  /// payloads): signed delta against `tag`/`pe`. NUMA sampling skips it.
+  void adjust(MemTag tag, std::int64_t delta, int pe = -1);
+
+  /// Capture the pre-allocation VmRSS baseline. First call wins; every
+  /// backend calls this (via enforce_mem_limit / TrackedBuffer) before
+  /// its first big allocation touches pages.
+  void ensure_baseline();
+
+  /// Take one synchronous sample (status + smaps_rollup + NUMA walk) in
+  /// the caller's thread — fold_memory() uses this so even runs shorter
+  /// than the sampler cadence report a real RSS.
+  void sample_now();
+
+  MemorySnapshot snapshot() const;
+
+  /// Stop the background sampler (joins the thread). Also registered
+  /// via atexit so TSan sees every thread joined.
+  void stop_sampler();
+
+  /// Tests: collapse peaks to current values so accounting assertions
+  /// are independent of what earlier tests allocated.
+  void reset_peaks_for_testing();
+  /// Tests: redirect procfs reads ("/proc/self" by default); a bogus
+  /// root exercises the sampled==false degradation path.
+  void set_proc_root_for_testing(const std::string& root);
+  /// Tests: force the NUMA syscalls to report unavailable.
+  void force_numa_unavailable_for_testing(bool on);
+
+private:
+  MemRegistry();
+  ~MemRegistry() { stop_sampler(); }
+
+  struct Record {
+    MemTag tag = MemTag::kOther;
+    const void* ptr = nullptr;
+    std::uint64_t bytes = 0;
+    int pe = -1;
+    int node = -1; // dominant node from the last NUMA walk
+  };
+  struct PeCount {
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+    int node = -1;
+  };
+
+  void apply_delta_locked(MemTag tag, std::int64_t delta, int pe);
+  void ensure_sampler_locked();
+  void sample_proc_locked(bool deep);
+  void sample_numa_locked();
+  void sampler_loop();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_;
+  std::map<std::uint64_t, Record> live_;
+  std::uint64_t next_id_ = 1;
+
+  std::uint64_t current_ = 0;
+  std::uint64_t peak_ = 0;
+  double peak_ts_us_ = 0;
+  MemorySnapshot::TagStat by_tag_[kNumMemTags] = {};
+  std::map<int, PeCount> per_pe_;
+
+  // Sampler state (guarded by mu_ except the flags).
+  std::string proc_root_ = "/proc/self";
+  bool baseline_done_ = false;
+  bool sampled_ok_ = false;
+  std::string sample_error_;
+  std::uint64_t rss_bytes_ = 0;
+  std::uint64_t hwm_bytes_ = 0;
+  std::uint64_t baseline_rss_ = 0;
+  std::uint64_t thp_bytes_ = 0;
+  std::uint64_t samples_ = 0;
+  bool numa_ok_ = false;
+  std::string numa_error_;
+  std::vector<std::uint64_t> node_bytes_;
+  std::atomic<bool> numa_forced_off_{false};
+
+  std::mutex thread_mu_; // start/stop serialization (never under mu_)
+  std::thread thread_;
+  std::atomic<bool> thread_run_{false};
+  std::atomic<bool> thread_exited_{false};
+  int interval_ms_ = 25;
+};
+
+/// AlignedBuffer with registration: same surface (allocate / release /
+/// zero / data / size), plus the component tag and owning PE. Byte
+/// accounting matches the allocator exactly (sizes round up to the
+/// 64-byte alignment quantum). Move-only, like the buffer it wraps.
+template <typename T>
+class TrackedBuffer {
+public:
+  TrackedBuffer() = default;
+  explicit TrackedBuffer(std::size_t count, MemTag tag = MemTag::kOther,
+                         int pe = -1) {
+    allocate(count, tag, pe);
+  }
+  ~TrackedBuffer() { release(); }
+
+  TrackedBuffer(const TrackedBuffer&) = delete;
+  TrackedBuffer& operator=(const TrackedBuffer&) = delete;
+  TrackedBuffer(TrackedBuffer&& other) noexcept
+      : buf_(std::move(other.buf_)), id_(other.id_) {
+    other.id_ = 0;
+  }
+  TrackedBuffer& operator=(TrackedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      buf_ = std::move(other.buf_);
+      id_ = other.id_;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+
+  void allocate(std::size_t count, MemTag tag = MemTag::kOther, int pe = -1) {
+    release();
+    // Baseline RSS must predate the zero-fill below first-touching the
+    // pages, or rss-minus-baseline would hide the first allocation.
+    MemRegistry::global().ensure_baseline();
+    buf_.allocate(count);
+    if (count != 0) {
+      id_ = MemRegistry::global().track(tag, buf_.data(),
+                                        tracked_bytes(count), pe);
+    }
+  }
+
+  void release() {
+    if (id_ != 0) {
+      MemRegistry::global().untrack(id_);
+      id_ = 0;
+    }
+    buf_.release();
+  }
+
+  void zero() { buf_.zero(); }
+  T* data() { return buf_.data(); }
+  const T* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  T& operator[](std::size_t i) { return buf_[i]; }
+  const T& operator[](std::size_t i) const { return buf_[i]; }
+
+  /// Bytes the allocator reserves for `count` elements (64-byte quantum).
+  static std::size_t tracked_bytes(std::size_t count) {
+    const std::size_t raw = count * sizeof(T);
+    return (raw + 63) / 64 * 64;
+  }
+
+private:
+  AlignedBuffer<T> buf_;
+  std::uint64_t id_ = 0;
+};
+
+/// RAII aggregate for container-backed allocations that are awkward to
+/// wrap individually (a window's phase tables, the oracle's state):
+/// add() registers bytes as they appear; destruction returns them all.
+class MemAdjust {
+public:
+  MemAdjust() = default;
+  explicit MemAdjust(MemTag tag, int pe = -1) : tag_(tag), pe_(pe) {}
+  ~MemAdjust() { reset(); }
+
+  MemAdjust(const MemAdjust&) = delete;
+  MemAdjust& operator=(const MemAdjust&) = delete;
+  MemAdjust(MemAdjust&& other) noexcept
+      : tag_(other.tag_), pe_(other.pe_), total_(other.total_) {
+    other.total_ = 0;
+  }
+  MemAdjust& operator=(MemAdjust&& other) noexcept {
+    if (this != &other) {
+      reset();
+      tag_ = other.tag_;
+      pe_ = other.pe_;
+      total_ = other.total_;
+      other.total_ = 0;
+    }
+    return *this;
+  }
+
+  void add(std::int64_t bytes) {
+    if (bytes == 0) return;
+    total_ += bytes;
+    MemRegistry::global().adjust(tag_, bytes, pe_);
+  }
+  void reset() {
+    if (total_ != 0) {
+      MemRegistry::global().adjust(tag_, -total_, pe_);
+      total_ = 0;
+    }
+  }
+  std::int64_t total() const { return total_; }
+
+private:
+  MemTag tag_ = MemTag::kOther;
+  int pe_ = -1;
+  std::int64_t total_ = 0;
+};
+
+/// The /memory HTTP endpoint's document (schema "svsim-memory-v1"):
+/// the full snapshot as RFC 8259 JSON.
+std::string memory_json(const MemorySnapshot& snap);
+
+/// Snapshot the registry (taking one synchronous sample first) into
+/// `report.memory`, and attach the analytic footprint estimate for the
+/// report's backend/shape. No-op body (enabled=false) when tracking is
+/// off. Called lazily from Simulator::last_report().
+void fold_memory(RunReport& report);
+
+} // namespace svsim::obs

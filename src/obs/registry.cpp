@@ -62,10 +62,18 @@ Histogram& Registry::histogram(const std::string& name) {
   return *slot;
 }
 
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, g] : gauges_) g->reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values() const {
@@ -73,6 +81,14 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values() co
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
   return out;
 }
 
@@ -142,6 +158,23 @@ std::string Registry::write_prom() const {
     }
   }
   char buf[64];
+  std::map<std::string, std::vector<std::pair<std::string, double>>>
+      gauge_fams;
+  for (const auto& [name, v] : gauge_values()) {
+    gauge_fams["svsim_" + prom_name(name)].emplace_back(name, v);
+  }
+  for (const auto& [m, members] : gauge_fams) {
+    os << "# HELP " << m << " svsim instantaneous gauge\n";
+    os << "# TYPE " << m << " gauge\n";
+    for (const auto& [name, v] : members) {
+      os << m;
+      if (members.size() > 1) {
+        os << "{name=\"" << prom_label_escape(name) << "\"}";
+      }
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      os << ' ' << buf << '\n';
+    }
+  }
   std::map<std::string,
            std::vector<std::pair<std::string, Histogram::Snapshot>>>
       histo_fams;
@@ -187,6 +220,9 @@ std::string Registry::summary() const {
   std::ostringstream os;
   for (const auto& [name, v] : counter_values()) {
     if (v != 0) os << "  counter " << name << " = " << v << "\n";
+  }
+  for (const auto& [name, v] : gauge_values()) {
+    if (v != 0) os << "  gauge   " << name << " = " << v << "\n";
   }
   for (const auto& [name, s] : histogram_values()) {
     if (s.count == 0) continue;

@@ -87,6 +87,19 @@ private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
+/// Instantaneous level (bytes resident, queue depth): last-write-wins
+/// set() plus CAS add(), one relaxed atomic each. Thread/PE-safe.
+class Gauge {
+public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) { detail::atomic_add(v_, d); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> v_{0};
+};
+
 class Registry {
 public:
   /// The process-wide registry every subsystem shares.
@@ -95,6 +108,7 @@ public:
   /// Find-or-create. Returned references are valid forever.
   Counter& counter(const std::string& name);
   Histogram& histogram(const std::string& name);
+  Gauge& gauge(const std::string& name);
 
   /// Zero every entry in place (entries are kept; cached refs stay valid).
   void reset();
@@ -102,21 +116,24 @@ public:
   /// Snapshot views for exporters/tests (sorted by name).
   std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
   std::vector<std::pair<std::string, Histogram::Snapshot>> histogram_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
 
   /// Human-readable dump of all non-zero entries.
   std::string summary() const;
 
   /// Prometheus text exposition (version 0.0.4) of every entry: counters
-  /// as `svsim_<name>_total`, histograms as `svsim_<name>_seconds`
-  /// cumulative-bucket histograms (le boundaries are the log2-µs bucket
-  /// upper edges, in seconds) — scrapeable without parsing JSON
-  /// (`qasm_runner --metrics`). Names are sanitized to [a-zA-Z0-9_].
+  /// as `svsim_<name>_total`, gauges as plain `svsim_<name>`, histograms
+  /// as `svsim_<name>_seconds` cumulative-bucket histograms (le
+  /// boundaries are the log2-µs bucket upper edges, in seconds) —
+  /// scrapeable without parsing JSON (`qasm_runner --metrics`). Names
+  /// are sanitized to [a-zA-Z0-9_].
   std::string write_prom() const;
 
 private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 } // namespace svsim::obs

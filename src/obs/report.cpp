@@ -319,6 +319,49 @@ std::string RunReport::summary() const {
     }
   }
 
+  if (memory.enabled) {
+    char peakb[16];
+    char estb[16];
+    human_bytes(peakb, sizeof(peakb), memory.tracked_peak);
+    human_bytes(estb, sizeof(estb),
+                static_cast<std::uint64_t>(memory.estimated_bytes));
+    std::snprintf(buf, sizeof(buf),
+                  "  memory: tracked peak %s (estimate %s, %+.1f%%)",
+                  peakb, estb, memory.estimate_error() * 100.0);
+    os << buf;
+    if (memory.sampled) {
+      char rssb[16];
+      human_bytes(rssb, sizeof(rssb), memory.peak_rss);
+      std::snprintf(buf, sizeof(buf), ", peak RSS %s (%llu samples)", rssb,
+                    static_cast<unsigned long long>(memory.samples));
+      os << buf;
+    } else if (!memory.sample_error.empty()) {
+      os << ", rss unsampled (" << memory.sample_error << ")";
+    }
+    os << '\n';
+    for (const MemoryStats::Tag& t : memory.tags) {
+      char curb[16];
+      char tpb[16];
+      human_bytes(curb, sizeof(curb), t.current);
+      human_bytes(tpb, sizeof(tpb), t.peak);
+      std::snprintf(buf, sizeof(buf), "    %-12s current %8s  peak %8s\n",
+                    t.name.c_str(), curb, tpb);
+      os << buf;
+    }
+    if (memory.numa && !memory.node_bytes.empty()) {
+      os << "    numa placement:";
+      for (std::size_t nd = 0; nd < memory.node_bytes.size(); ++nd) {
+        char nb[16];
+        human_bytes(nb, sizeof(nb), memory.node_bytes[nd]);
+        std::snprintf(buf, sizeof(buf), " node%zu %s", nd, nb);
+        os << buf;
+      }
+      os << '\n';
+    } else if (!memory.numa_error.empty()) {
+      os << "    numa: unavailable (" << memory.numa_error << ")\n";
+    }
+  }
+
   if (!matrix.empty()) {
     const TrafficMatrix::Imbalance im = matrix.imbalance();
     std::snprintf(buf, sizeof(buf),

@@ -159,6 +159,55 @@ struct TrafficMatrix {
   std::string table() const;
 };
 
+/// Bytes-resident attribution of the last run() (obs/memtrack +
+/// obs/capacity): exact tagged-allocation accounting, the sampled
+/// process RSS / NUMA placement, and the analytic footprint estimate.
+/// Defaults when SVSIM_MEMTRACK=0; `sampled == false` / `numa == false`
+/// with error strings are the graceful degradations on hosts without a
+/// readable procfs or with the NUMA syscalls denied.
+struct MemoryStats {
+  bool enabled = false;
+  // Tagged allocation registry (exact, kernel-independent).
+  std::uint64_t tracked_bytes = 0; // live at report time
+  std::uint64_t tracked_peak = 0;  // high-water of tracked bytes
+  double peak_ts_us = 0;           // trace-clock time of the high-water
+  struct Tag {
+    std::string name;
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+  };
+  std::vector<Tag> tags;
+  struct Pe {
+    int pe = -1;
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+    int node = -1; // dominant NUMA node of the PE's buffers (-1 unknown)
+  };
+  std::vector<Pe> per_pe;
+  // Process sample (/proc/self/status + smaps_rollup).
+  bool sampled = false;
+  std::string sample_error;
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t peak_rss = 0; // max(VmHWM, last VmRSS)
+  std::uint64_t baseline_rss = 0; // VmRSS before the first tracked alloc
+  std::uint64_t thp_bytes = 0;
+  std::uint64_t samples = 0;
+  // NUMA page placement of tracked buffers (move_pages/get_mempolicy).
+  bool numa = false;
+  std::string numa_error;
+  std::vector<std::uint64_t> node_bytes;
+  // Analytic estimate (obs/capacity) for this run's shape.
+  double estimated_bytes = 0;
+
+  /// Relative error of the estimate against the tracked peak (the
+  /// deterministic surface the 10% acceptance bound is pinned on).
+  double estimate_error() const {
+    if (tracked_peak == 0) return 0;
+    return (estimated_bytes - static_cast<double>(tracked_peak)) /
+           static_cast<double>(tracked_peak);
+  }
+};
+
 struct RunReport {
   std::string backend;
   IdxType n_qubits = 0;
@@ -180,6 +229,7 @@ struct RunReport {
   HealthStats health;   // numerical-health tier (defaults when disabled)
   SchedulerStats sched; // gate-window scheduler (defaults when off)
   RooflineStats roofline; // roofline attribution (defaults when off)
+  MemoryStats memory;   // bytes-resident attribution (defaults when off)
   WaitProfile waitstate; // cross-PE wait-state breakdown (defaults when off)
   TrafficMatrix matrix; // per-PE×PE traffic (distributed backends only)
   /// Flight-recorder events drained at the end of a successful run

@@ -194,6 +194,62 @@ std::string to_json(const RunReport& report) {
   }
   os << "]}";
 
+  const MemoryStats& mm = report.memory;
+  os << ",\"memory\":{\"enabled\":" << (mm.enabled ? "true" : "false")
+     << ",\"tracked_bytes\":";
+  append_u64(os, mm.tracked_bytes);
+  os << ",\"tracked_peak\":";
+  append_u64(os, mm.tracked_peak);
+  os << ",\"peak_ts_us\":";
+  append_double(os, mm.peak_ts_us);
+  os << ",\"tags\":[";
+  for (std::size_t i = 0; i < mm.tags.size(); ++i) {
+    const MemoryStats::Tag& t = mm.tags[i];
+    if (i != 0) os << ',';
+    os << "{\"tag\":";
+    append_escaped(os, t.name);
+    os << ",\"current\":";
+    append_u64(os, t.current);
+    os << ",\"peak\":";
+    append_u64(os, t.peak);
+    os << '}';
+  }
+  os << "],\"per_pe\":[";
+  for (std::size_t i = 0; i < mm.per_pe.size(); ++i) {
+    const MemoryStats::Pe& p = mm.per_pe[i];
+    if (i != 0) os << ',';
+    os << "{\"pe\":" << p.pe << ",\"current\":";
+    append_u64(os, p.current);
+    os << ",\"peak\":";
+    append_u64(os, p.peak);
+    os << ",\"node\":" << p.node << '}';
+  }
+  os << "],\"sampled\":" << (mm.sampled ? "true" : "false")
+     << ",\"sample_error\":";
+  append_escaped(os, mm.sample_error);
+  os << ",\"rss_bytes\":";
+  append_u64(os, mm.rss_bytes);
+  os << ",\"peak_rss\":";
+  append_u64(os, mm.peak_rss);
+  os << ",\"baseline_rss\":";
+  append_u64(os, mm.baseline_rss);
+  os << ",\"thp_bytes\":";
+  append_u64(os, mm.thp_bytes);
+  os << ",\"samples\":";
+  append_u64(os, mm.samples);
+  os << ",\"numa\":" << (mm.numa ? "true" : "false") << ",\"numa_error\":";
+  append_escaped(os, mm.numa_error);
+  os << ",\"node_bytes\":[";
+  for (std::size_t i = 0; i < mm.node_bytes.size(); ++i) {
+    if (i != 0) os << ',';
+    append_u64(os, mm.node_bytes[i]);
+  }
+  os << "],\"estimated_bytes\":";
+  append_double(os, mm.estimated_bytes);
+  os << ",\"estimate_error\":";
+  append_double(os, mm.estimate_error());
+  os << '}';
+
   const WaitProfile& ws = report.waitstate;
   os << ",\"waitstate\":{\"enabled\":" << (ws.enabled ? "true" : "false")
      << ",\"per_pe\":[";

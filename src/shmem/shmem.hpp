@@ -236,6 +236,14 @@ public:
   int n_pes() const { return n_pes_; }
   std::size_t heap_bytes() const { return heap_bytes_; }
 
+  /// Base address of PE `pe`'s symmetric-heap arena — stable for the
+  /// runtime's lifetime. The shmem layer cannot depend on the obs
+  /// library, so callers that do (ShmemSim) register the arenas with the
+  /// memory registry through this accessor.
+  const char* arena_base(int pe) const {
+    return arenas_[static_cast<std::size_t>(pe)].data();
+  }
+
   /// Launch the SPMD body on all PEs and join. PE 0 runs on the calling
   /// thread (so single-PE jobs have zero thread overhead); PEs 1..n-1 run
   /// on spawned threads. Exceptions thrown by any PE are captured and

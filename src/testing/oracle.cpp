@@ -13,9 +13,12 @@ OracleSim::OracleSim(IdxType n_qubits, std::uint64_t seed)
     : n_(n_qubits),
       dim_(pow2(n_qubits)),
       seed_(seed),
+      state_mem_(obs::MemTag::kOracle),
       sv_(n_qubits),
       cbits_(static_cast<std::size_t>(n_qubits), 0),
       rng_(seed) {
+  state_mem_.add(static_cast<std::int64_t>(dim_) *
+                 static_cast<std::int64_t>(sizeof(Complex)));
   sv_.amps[0] = 1.0;
 }
 

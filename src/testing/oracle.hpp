@@ -25,6 +25,7 @@
 #include "core/state_vector.hpp"
 #include "ir/circuit.hpp"
 #include "ir/matrices.hpp"
+#include "obs/memtrack.hpp"
 
 namespace svsim::testing {
 
@@ -59,6 +60,9 @@ private:
   IdxType n_;
   IdxType dim_;
   std::uint64_t seed_;
+  // The dense reference state below (complex amplitudes) in the memory
+  // registry, under the oracle tag; returned on destruction.
+  obs::MemAdjust state_mem_{obs::MemTag::kOracle};
   StateVector sv_;
   std::vector<IdxType> cbits_;
   Rng rng_;

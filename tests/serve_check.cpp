@@ -10,6 +10,10 @@
 // final document must pin fraction 1 / eta 0, and /report must serve the
 // finished svsim-report-v1.
 //
+// Mid-run, GET /memory must serve a valid svsim-memory-v1 document with
+// the plane enabled, live tracked bytes, and one per-PE row per shmem
+// arena — the live leg of the memory observability plane.
+//
 // Phase B — a NaN-poisoned run under the health monitor must flip
 // /healthz from 200 "ok" to 503 "tripped".
 //
@@ -140,7 +144,28 @@ int main(int argc, char** argv) {
   });
 
   std::vector<Sample> samples;
+  bool memory_checked = false;
   while (!run_done.load()) {
+    // One mid-run /memory probe: the shmem arenas must be live and
+    // attributed per PE while the run executes.
+    if (!memory_checked && !samples.empty()) {
+      int mstatus = 0;
+      Value mdoc;
+      if (get_json(port, "/memory", &mstatus, &mdoc)) {
+        CHECK(mstatus == 200, "/memory status %d", mstatus);
+        CHECK(mdoc.member_str("schema", "") == "svsim-memory-v1",
+              "/memory lacks the svsim-memory-v1 schema");
+        CHECK(mdoc.find("enabled")->bool_or(false),
+              "/memory plane not enabled");
+        CHECK(mdoc.member_num("tracked_bytes", 0) > 0,
+              "/memory tracks no live bytes mid-run");
+        const Value* per_pe = mdoc.find("per_pe");
+        CHECK(per_pe != nullptr && per_pe->is_array() &&
+                  per_pe->items.size() >= 4,
+              "/memory has no per-PE rows for the 4 shmem arenas");
+        memory_checked = true;
+      }
+    }
     int status = 0;
     Value doc;
     if (get_json(port, "/progress", &status, &doc)) {
@@ -240,7 +265,8 @@ int main(int argc, char** argv) {
           "/metrics failed");
     CHECK(body.find("# TYPE ") != std::string::npos, "no TYPE lines");
   }
-  std::printf("serve_check: phase A (progress/ETA) ok\n");
+  CHECK(memory_checked, "never validated /memory mid-run");
+  std::printf("serve_check: phase A (progress/ETA/memory) ok\n");
 
   // ---- Phase B: /healthz flips 503 on injected NaN ---------------------
   SimConfig health_cfg;

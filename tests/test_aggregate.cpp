@@ -155,6 +155,9 @@ TEST(Ledger, LineRoundTrip) {
   e.imbalance = 1.25;
   e.critical = "PE 2 / cx";
   e.remote_bytes = 4096;
+  e.peak_rss_bytes = 7 << 20;
+  e.tracked_peak_bytes = 1 << 20;
+  e.est_err_pct = -3.5;
   e.rekey();
   EXPECT_EQ(e.key.rfind("00c0ffee00c0ffee:shmem:w4:", 0), 0u);
 
@@ -175,6 +178,9 @@ TEST(Ledger, LineRoundTrip) {
   EXPECT_DOUBLE_EQ(back.imbalance, e.imbalance);
   EXPECT_EQ(back.critical, e.critical);
   EXPECT_EQ(back.remote_bytes, e.remote_bytes);
+  EXPECT_EQ(back.peak_rss_bytes, e.peak_rss_bytes);
+  EXPECT_EQ(back.tracked_peak_bytes, e.tracked_peak_bytes);
+  EXPECT_DOUBLE_EQ(back.est_err_pct, e.est_err_pct);
 }
 
 TEST(Ledger, RejectsCorruptLines) {

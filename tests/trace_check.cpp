@@ -2,6 +2,7 @@
 //
 // Usage: trace_check <trace.json>
 //        trace_check --report <report.json>
+//        trace_check --memory <report.json>
 //
 // Default mode exits 0 iff the file exists, parses as JSON (obs::jsonlite
 // — no external dependencies), contains a "traceEvents" key, and holds at
@@ -9,8 +10,13 @@
 //
 // --report mode validates a qasm_runner --report-json document instead:
 // valid JSON, the "svsim-report-v1" schema marker, a health section with
-// the monitor enabled and at least one checkpoint evaluated. Prints a
-// one-line verdict either way.
+// the monitor enabled and at least one checkpoint evaluated.
+//
+// --memory mode validates the report's memory section (the memtrack
+// acceptance gate): plane enabled, a nonzero tracked peak, the analytic
+// footprint estimate within 10% of the tracked peak, and — when the
+// /proc sampler delivered — a peak RSS at least as large as the tracked
+// peak. Prints a one-line verdict either way.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -97,14 +103,71 @@ int check_report(const char* path) {
   return 0;
 }
 
+int check_memory(const char* path) {
+  std::string text;
+  if (!slurp(path, &text)) return 1;
+  svsim::obs::jsonlite::Value doc;
+  if (!svsim::obs::jsonlite::parse(text, &doc) || !doc.is_object() ||
+      doc.member_str("schema", "") != "svsim-report-v1") {
+    std::fprintf(stderr, "trace_check: %s lacks the svsim-report-v1 schema\n",
+                 path);
+    return 1;
+  }
+  const svsim::obs::jsonlite::Value* mem = doc.find("memory");
+  if (mem == nullptr || !mem->is_object()) {
+    std::fprintf(stderr, "trace_check: %s has no memory section\n", path);
+    return 1;
+  }
+  if (mem->find("enabled") == nullptr ||
+      !mem->find("enabled")->bool_or(false)) {
+    std::fprintf(stderr, "trace_check: %s memory plane not enabled\n", path);
+    return 1;
+  }
+  const double tracked_peak = mem->member_num("tracked_peak", 0);
+  if (tracked_peak <= 0) {
+    std::fprintf(stderr, "trace_check: %s tracked no allocations\n", path);
+    return 1;
+  }
+  const double estimate = mem->member_num("estimated_bytes", 0);
+  const double err = (estimate - tracked_peak) / tracked_peak;
+  if (estimate <= 0 || err < -0.10 || err > 0.10) {
+    std::fprintf(stderr,
+                 "trace_check: %s estimate %.0f vs tracked peak %.0f "
+                 "(%.1f%% off, cap 10%%)\n",
+                 path, estimate, tracked_peak, err * 100.0);
+    return 1;
+  }
+  const bool sampled = mem->find("sampled") != nullptr &&
+                       mem->find("sampled")->bool_or(false);
+  const double peak_rss = mem->member_num("peak_rss", 0);
+  if (sampled && peak_rss + 1024.0 < tracked_peak) {
+    // RSS covers tracked buffers plus everything else the process maps,
+    // so sampling can't report less than what the registry holds (small
+    // slack: the /proc read is KiB-granular).
+    std::fprintf(stderr,
+                 "trace_check: %s peak RSS %.0f below tracked peak %.0f\n",
+                 path, peak_rss, tracked_peak);
+    return 1;
+  }
+  std::printf("trace_check: %s memory OK (tracked peak %.0f, estimate "
+              "%+.1f%%, %s)\n",
+              path, tracked_peak, err * 100.0,
+              sampled ? "rss sampled" : "rss unsampled");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--report") == 0) {
     return check_report(argv[2]);
   }
+  if (argc == 3 && std::strcmp(argv[1], "--memory") == 0) {
+    return check_memory(argv[2]);
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s [--report] <file.json>\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--report|--memory] <file.json>\n",
+                 argv[0]);
     return 1;
   }
   return check_trace(argv[1]);

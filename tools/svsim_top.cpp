@@ -3,14 +3,16 @@
 //   $ SVSIM_HTTP=9090 ./examples/qasm_runner big.qasm --backend shmem &
 //   $ ./tools/svsim_top --port 9090
 //
-// Polls the embedded telemetry endpoint's GET /progress (and /healthz)
-// over loopback HTTP and redraws a compact status screen: the run
-// header, the model-calibrated completion fraction / achieved GB/s /
-// ETA, and one row per PE with its retired-gate count, touched
-// amplitudes, and live wait share. The wait column uses the same shade
-// alphabet as the report's traffic-matrix heatmap (' ' '.' ':' '+' '#',
-// '#' = the PE spending the largest fraction of its time blocked), so a
-// straggler reads at a glance.
+// Polls the embedded telemetry endpoint's GET /progress (and /healthz,
+// /memory) over loopback HTTP and redraws a compact status screen: the
+// run header, a memory line (tracked bytes / peak / live RSS), the
+// model-calibrated completion fraction / achieved GB/s / ETA, and one
+// row per PE with its retired-gate count, touched amplitudes, live wait
+// share, and resident partition bytes. The wait and mem columns use the
+// same shade alphabet as the report's traffic-matrix heatmap (' ' '.'
+// ':' '+' '#', '#' = the PE spending the largest fraction of its time
+// blocked / holding the most memory), so a straggler or an imbalanced
+// partition reads at a glance.
 //
 //   --host H        endpoint host (default 127.0.0.1)
 //   --port P        endpoint port (default: $SVSIM_HTTP)
@@ -40,6 +42,16 @@ char shade_for(double rel) {
   if (rel >= 0.5) return kShade[2];
   if (rel >= 0.25) return kShade[1];
   return kShade[0];
+}
+
+void format_bytes(char* buf, std::size_t len, double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::snprintf(buf, len, u == 0 ? "%.0f %s" : "%.2f %s", bytes, units[u]);
 }
 
 void format_eta(char* buf, std::size_t len, const Value* eta) {
@@ -80,6 +92,22 @@ bool render_frame(const std::string& host, int port, bool clear,
         svsim::obs::jsonlite::parse(hbody, &hdoc)) {
       health = hdoc.member_str("status", "unknown");
       if (hstatus == 503) health += " (503)";
+    }
+  }
+
+  // Memory plane (svsim-memory-v1): best-effort — an older endpoint
+  // without /memory just leaves the memory line and column blank.
+  Value mdoc;
+  bool have_mem = false;
+  {
+    int mstatus = 0;
+    std::string mbody;
+    if (svsim::obs::http_get(host, port, "/memory", &mstatus, &mbody) &&
+        mstatus == 200 && svsim::obs::jsonlite::parse(mbody, &mdoc) &&
+        mdoc.is_object() &&
+        mdoc.find("enabled") != nullptr &&
+        mdoc.find("enabled")->bool_or(false)) {
+      have_mem = true;
     }
   }
 
@@ -125,27 +153,68 @@ bool render_frame(const std::string& host, int port, bool clear,
   std::printf("] %5.1f%%  %.0f/%.0f gates  %.2f GB/s  eta %s  %s %.1fs\n",
               fraction * 100.0, gates_done, total_gates, gbps, eta,
               active ? "elapsed" : "finished in", elapsed);
+  if (have_mem) {
+    char tracked[32];
+    char peak[32];
+    format_bytes(tracked, sizeof(tracked), mdoc.member_num("tracked_bytes", 0));
+    format_bytes(peak, sizeof(peak), mdoc.member_num("tracked_peak", 0));
+    std::printf("  mem: tracked %s (peak %s)", tracked, peak);
+    if (mdoc.find("sampled") != nullptr &&
+        mdoc.find("sampled")->bool_or(false)) {
+      char rss[32];
+      char hwm[32];
+      format_bytes(rss, sizeof(rss), mdoc.member_num("rss_bytes", 0));
+      format_bytes(hwm, sizeof(hwm), mdoc.member_num("hwm_bytes", 0));
+      std::printf("  rss %s (hwm %s)", rss, hwm);
+    }
+    std::printf("\n");
+  }
 
   const Value* pes = doc.find("per_pe");
   if (pes != nullptr && pes->is_array() && !pes->items.empty()) {
-    // Shade wait relative to the worst waiter (heatmap convention).
+    // Per-PE resident bytes from the memory plane, keyed by PE id. Shades
+    // relative to the biggest holder — same convention as the wait column.
+    const Value* mem_pes = have_mem ? mdoc.find("per_pe") : nullptr;
+    auto pe_mem = [&](long long pe_id) -> double {
+      if (mem_pes == nullptr || !mem_pes->is_array()) return -1;
+      for (const Value& m : mem_pes->items) {
+        if (static_cast<long long>(m.member_num("pe", -1)) == pe_id) {
+          return m.member_num("current", 0);
+        }
+      }
+      return -1;
+    };
     double max_wait = 0;
+    double max_mem = 0;
     for (const Value& pe : pes->items) {
       const double w = pe.member_num("wait_s", 0);
       if (w > max_wait) max_wait = w;
+      const double m = pe_mem(static_cast<long long>(pe.member_num("pe", 0)));
+      if (m > max_mem) max_mem = m;
     }
-    std::printf("  %4s %14s %16s %10s %6s wait\n", "pe", "gates", "amps",
-                "wait_s", "wait%");
+    std::printf("  %4s %14s %16s %10s %6s wait %10s\n", "pe", "gates",
+                "amps", "wait_s", "wait%", "mem");
     for (const Value& pe : pes->items) {
       const double wait_s = pe.member_num("wait_s", 0);
       const double wait_pct =
           elapsed > 0 ? 100.0 * wait_s / elapsed : 0;
       const char shade =
           max_wait > 0 ? shade_for(wait_s / max_wait) : kShade[0];
-      std::printf("  %4lld %14.0f %16.0f %10.3f %5.1f%% %c\n",
-                  static_cast<long long>(pe.member_num("pe", 0)),
-                  pe.member_num("gates_done", 0),
-                  pe.member_num("amps_done", 0), wait_s, wait_pct, shade);
+      const long long pe_id =
+          static_cast<long long>(pe.member_num("pe", 0));
+      const double mem = pe_mem(pe_id);
+      char membuf[32];
+      if (mem >= 0) {
+        format_bytes(membuf, sizeof(membuf), mem);
+      } else {
+        std::snprintf(membuf, sizeof(membuf), "-");
+      }
+      const char mshade =
+          mem > 0 && max_mem > 0 ? shade_for(mem / max_mem) : kShade[0];
+      std::printf("  %4lld %14.0f %16.0f %10.3f %5.1f%% %c    %10s %c\n",
+                  pe_id, pe.member_num("gates_done", 0),
+                  pe.member_num("amps_done", 0), wait_s, wait_pct, shade,
+                  membuf, mshade);
     }
   }
   std::fflush(stdout);
