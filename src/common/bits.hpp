@@ -65,6 +65,19 @@ inline constexpr IdxType insert_zero_bit(IdxType i, IdxType q) {
 /// Number of amplitude pairs a 1-qubit gate touches in an n-qubit register.
 inline constexpr IdxType half_dim(IdxType n) { return pow2(n - 1); }
 
+/// Scatter the bits of an n-bit index through a qubit permutation:
+/// bit b of `index` lands at position layout[b] of the result. With
+/// layout[logical] = physical this maps a logical basis state to the
+/// physical amplitude index that holds it.
+inline constexpr IdxType permute_bits(IdxType index, const IdxType* layout,
+                                      IdxType n) {
+  IdxType out = 0;
+  for (IdxType b = 0; b < n; ++b) {
+    if ((index >> b) & 1) out |= pow2(layout[b]);
+  }
+  return out;
+}
+
 /// Number of amplitude quadruples a 2-qubit gate touches.
 inline constexpr IdxType quarter_dim(IdxType n) { return pow2(n - 2); }
 

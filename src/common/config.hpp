@@ -54,6 +54,16 @@ struct SimConfig {
   /// overrides when this field is left at auto (0 off, 1 auto, n >= 2
   /// explicit).
   int sched_window = -1;
+  /// Communication-avoiding qubit remapping (ir/remap): before executing
+  /// on a partitioned backend, greedily swap logical qubits that are
+  /// about to be used out of the remote (cross-PE) index range so gates
+  /// run PE-local, and virtually permute readout instead of physically
+  /// restoring the layout — measurement operands and sampled bitstrings
+  /// are reindexed through the final logical→physical layout, so cbits
+  /// and samples match the unremapped run. -1 = auto (on for multi-PE
+  /// partitioned backends), 0 = off, 1 = on. SVSIM_REMAP=<0|1> overrides
+  /// when this field is left at auto.
+  int remap = -1;
   /// Roofline attribution (obs/perfmodel + obs/counters): price the run's
   /// expected bytes/flops analytically, sample hardware counters around
   /// the gate loop (perf_event_open; degrades to model-only where

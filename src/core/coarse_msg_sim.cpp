@@ -62,7 +62,7 @@ public:
         obs::Span span(rec, rank_, g.op);
         switch (g.op) {
           case OP::M: apply_measure(g); break;
-          case OP::MA: apply_measure_all(); break;
+          case OP::MA: apply_measure_all(g); break;
           case OP::RESET: apply_reset(g); break;
           case OP::BARRIER: break;
           default:
@@ -422,7 +422,7 @@ private:
     }
   }
 
-  void apply_measure_all() {
+  void apply_measure_all(const Gate& g) {
     const int n = sim_->n_ranks_;
     const IdxType shots = sim_->n_shots_;
     // All ranks draw the same uniforms (lockstep with the other backends).
@@ -440,6 +440,19 @@ private:
       send(0, std::move(out));
       return;
     }
+    // Virtual readout permutation (ir/remap): when the circuit was
+    // remapped, sweep in LOGICAL order — the amplitude of logical basis
+    // state k lives at its physical home — and report logical
+    // bitstrings, matching the unremapped run draw-for-draw.
+    const IdxType* row = nullptr;
+    if (!sim_->ma_layouts_.empty() && g.cbit >= 0) {
+      row = sim_->ma_layouts_.data() + g.cbit * sim_->n_;
+      bool identity = true;
+      for (IdxType b = 0; b < sim_->n_; ++b) {
+        if (row[b] != b) { identity = false; break; }
+      }
+      if (identity) row = nullptr;
+    }
     // Rank 0 gathers the full distribution and samples.
     std::vector<std::vector<ValType>> parts(static_cast<std::size_t>(n));
     for (int r = 1; r < n; ++r) parts[static_cast<std::size_t>(r)] = recv(r);
@@ -448,8 +461,9 @@ private:
     IdxType k = 0;
     std::size_t d = 0;
     while (d < draws.size() && k < sim_->dim_) {
-      const int owner = static_cast<int>(k >> lg_);
-      const IdxType off = k & (per_ - 1);
+      const IdxType phys = row != nullptr ? permute_bits(k, row, sim_->n_) : k;
+      const int owner = static_cast<int>(phys >> lg_);
+      const IdxType off = phys & (per_ - 1);
       ValType re, im;
       if (owner == 0) {
         re = real_[off];
@@ -512,6 +526,7 @@ void CoarseMsgSim::reset_state() {
   }
   real_parts_[0][0] = 1.0;
   std::fill(cbits_.begin(), cbits_.end(), 0);
+  layout_.clear();
   for (auto& rng : rngs_) rng.reseed(cfg_.seed);
 }
 
@@ -519,6 +534,15 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
   static obs::Counter& runs = obs::Registry::global().counter("runs.coarse");
   runs.add();
   obs::RunReport& rep = begin_report(circuit, n_ranks_);
+
+  // Communication-avoiding remap (ir/remap): hot qubits move below
+  // lg_part_ so gates avoid whole-partition exchanges; readout is
+  // virtually permuted. The report keeps the ORIGINAL circuit's
+  // tally/hash.
+  const std::unique_ptr<RemapResult> rm =
+      maybe_remap(circuit, cfg_, n_ranks_, lg_part_, &layout_);
+  ma_layouts_ = rm ? std::move(rm->ma_layouts) : std::vector<IdxType>{};
+  const Circuit& exec = rm ? rm->circuit : circuit;
 
   stats_.assign(static_cast<std::size_t>(n_ranks_), MsgStats{});
 
@@ -536,14 +560,14 @@ void CoarseMsgSim::execute(const Circuit& circuit) {
 
   obs::ProgressBoard* progress = progress_on(cfg_);
   if (progress != nullptr) {
-    progress->begin_run(name(), n_, n_ranks_, circuit, nullptr);
+    progress->begin_run(name(), n_, n_ranks_, exec, nullptr);
   }
 
   auto rank_main = [&](int r) {
     set_log_pe(r);
     obs::WaitBind bind(wrec.get(), r);
     Rank rank(this, r);
-    rank.execute(circuit.gates(), rec.get(), health.get(), flight,
+    rank.execute(exec.gates(), rec.get(), health.get(), flight,
                  progress != nullptr ? progress->slot(r) : nullptr);
   };
   {
@@ -585,10 +609,21 @@ void CoarseMsgSim::run(const Circuit& circuit) {
 StateVector CoarseMsgSim::state() const {
   StateVector sv(n_);
   const IdxType per = pow2(lg_part_);
+  // Undo the remap layout virtually: physical amplitude index k holds
+  // logical basis state permute_bits(k, inverse, n).
+  std::vector<IdxType> inv;
+  if (!layout_.empty()) {
+    inv.resize(static_cast<std::size_t>(n_));
+    for (IdxType l = 0; l < n_; ++l) {
+      inv[static_cast<std::size_t>(layout_[static_cast<std::size_t>(l)])] = l;
+    }
+  }
   for (IdxType k = 0; k < dim_; ++k) {
     const auto r = static_cast<std::size_t>(k >> lg_part_);
     const auto off = static_cast<std::size_t>(k & (per - 1));
-    sv.amps[static_cast<std::size_t>(k)] =
+    const IdxType logical =
+        inv.empty() ? k : permute_bits(k, inv.data(), n_);
+    sv.amps[static_cast<std::size_t>(logical)] =
         Complex{real_parts_[r][off], imag_parts_[r][off]};
   }
   return sv;
@@ -596,6 +631,7 @@ StateVector CoarseMsgSim::state() const {
 
 void CoarseMsgSim::load_state(const StateVector& sv) {
   SVSIM_CHECK(sv.n_qubits == n_, "state width mismatch");
+  layout_.clear(); // loaded amplitudes are in natural (logical) order
   const IdxType per = pow2(lg_part_);
   for (IdxType k = 0; k < dim_; ++k) {
     const auto r = static_cast<std::size_t>(k >> lg_part_);

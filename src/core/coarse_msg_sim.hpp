@@ -131,6 +131,12 @@ private:
 
   std::vector<IdxType> cbits_;
   std::vector<IdxType> results_;
+  /// Live logical→physical qubit layout (ir/remap). Empty = identity;
+  /// persists across execute() calls so sample()'s internal measure-all
+  /// run sees the permutation the previous circuit left behind.
+  std::vector<IdxType> layout_;
+  /// Flattened per-measure-all layout snapshots of the current execute().
+  std::vector<IdxType> ma_layouts_;
   IdxType n_shots_ = 0;
   std::vector<Rng> rngs_;
   std::vector<MsgStats> stats_;

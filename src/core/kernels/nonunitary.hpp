@@ -75,7 +75,7 @@ void kern_measure(const Gate& g, const Space& sp, IdxType begin,
 /// WITHOUT collapsing the state (sampling semantics, like the paper's MA
 /// used for the repeated-shot workloads). Work range indexes amplitudes.
 template <class Space>
-void kern_measure_all(const Gate&, const Space& sp, IdxType, IdxType) {
+void kern_measure_all(const Gate& g, const Space& sp, IdxType, IdxType) {
   const IdxType shots = sp.mctx->n_shots;
   // All workers draw the same uniforms to stay in RNG lockstep; only
   // worker 0 materializes the outcomes (it can reach every amplitude
@@ -86,13 +86,30 @@ void kern_measure_all(const Gate&, const Space& sp, IdxType, IdxType) {
     draws.emplace_back(sp.collective_uniform(), s);
   }
   if (sp.worker() == 0) {
+    // Virtual readout permutation (ir/remap): when the circuit was
+    // remapped, this MA carries a layout-snapshot row index in its cbit;
+    // sweep the cumulative distribution in LOGICAL order — reading the
+    // amplitude of logical basis state k at its physical home — and
+    // report logical bitstrings. The sweep order is what ties each
+    // sorted draw to its outcome, so it must match the unremapped run.
+    const IdxType* row = nullptr;
+    if (sp.mctx->ma_layouts != nullptr && g.cbit >= 0) {
+      row = sp.mctx->ma_layouts + g.cbit * sp.mctx->n_qubits;
+      bool identity = true;
+      for (IdxType b = 0; b < sp.mctx->n_qubits; ++b) {
+        if (row[b] != b) { identity = false; break; }
+      }
+      if (identity) row = nullptr;
+    }
     std::sort(draws.begin(), draws.end());
     ValType cum = 0;
     IdxType k = 0;
     std::size_t d = 0;
     while (d < draws.size() && k < sp.dim) {
-      const ValType r = sp.get_real(k);
-      const ValType im = sp.get_imag(k);
+      const IdxType phys =
+          row != nullptr ? permute_bits(k, row, sp.mctx->n_qubits) : k;
+      const ValType r = sp.get_real(phys);
+      const ValType im = sp.get_imag(phys);
       cum += r * r + im * im;
       while (d < draws.size() && draws[d].first < cum) {
         sp.mctx->results[draws[d].second] = k;

@@ -50,6 +50,7 @@ void PeerSim::reset_state() {
   }
   real_parts_[0][0] = 1.0;
   std::fill(cbits_.begin(), cbits_.end(), 0);
+  layout_.clear();
   for (auto& rng : rngs_) rng.reseed(cfg_.seed);
 }
 
@@ -58,8 +59,18 @@ void PeerSim::execute(const Circuit& circuit) {
   runs.add();
   obs::RunReport& rep = begin_report(circuit, n_dev_);
 
+  // Communication-avoiding remap (ir/remap): hot qubits move below
+  // lg_part_ so gates run device-local; readout is virtually permuted.
+  // The report keeps the ORIGINAL circuit's tally/hash.
+  const std::unique_ptr<RemapResult> rm =
+      maybe_remap(circuit, cfg_, n_dev_, lg_part_, &layout_);
+  ma_layouts_ = rm ? std::move(rm->ma_layouts) : std::vector<IdxType>{};
+  mctx_.ma_layouts = ma_layouts_.empty() ? nullptr : ma_layouts_.data();
+  mctx_.n_qubits = n_;
+  const Circuit& exec = rm ? rm->circuit : circuit;
+
   const auto device_circuit =
-      upload_circuit<PeerSpace>(circuit, KernelTable<PeerSpace>::get());
+      upload_circuit<PeerSpace>(exec, KernelTable<PeerSpace>::get());
 
   shmem::Barrier grid(n_dev_); // the multi-device grid (grid.sync())
   traffic_.assign(static_cast<std::size_t>(n_dev_), PeerTraffic{});
@@ -85,7 +96,7 @@ void PeerSim::execute(const Circuit& circuit) {
   // Built once on the calling thread; shared read-only by every device
   // thread. Blocks must not straddle a partition, so b <= lg_part.
   const auto sched = kernels::prepare_sched<PeerSpace>(
-      circuit, device_circuit, cfg_, lg_part_, rec != nullptr,
+      exec, device_circuit, cfg_, lg_part_, rec != nullptr,
       health ? health->every_n() : 0);
   if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
 
@@ -94,7 +105,7 @@ void PeerSim::execute(const Circuit& circuit) {
 
   obs::ProgressBoard* progress = progress_on(cfg_);
   if (progress != nullptr) {
-    progress->begin_run(name(), n_, n_dev_, circuit,
+    progress->begin_run(name(), n_, n_dev_, exec,
                         sched.active ? &sched.sched : nullptr);
   }
 
@@ -127,7 +138,7 @@ void PeerSim::execute(const Circuit& circuit) {
   // join before it is read, so the counts cover the whole team.
   const bool roofline = roofline_on(cfg_);
   const obs::RunModel model =
-      roofline ? obs::model_run(circuit, sched.active ? &sched.sched : nullptr)
+      roofline ? obs::model_run(exec, sched.active ? &sched.sched : nullptr)
                : obs::RunModel{};
   obs::CounterSampler counters(roofline);
   const double loop_t0 = obs::trace_now_us();
@@ -175,10 +186,21 @@ void PeerSim::run(const Circuit& circuit) {
 StateVector PeerSim::state() const {
   StateVector sv(n_);
   const IdxType per = pow2(lg_part_);
+  // Undo the remap layout virtually: physical amplitude index k holds
+  // logical basis state permute_bits(k, inverse, n).
+  std::vector<IdxType> inv;
+  if (!layout_.empty()) {
+    inv.resize(static_cast<std::size_t>(n_));
+    for (IdxType l = 0; l < n_; ++l) {
+      inv[static_cast<std::size_t>(layout_[static_cast<std::size_t>(l)])] = l;
+    }
+  }
   for (IdxType k = 0; k < dim_; ++k) {
     const auto d = static_cast<std::size_t>(k >> lg_part_);
     const auto off = static_cast<std::size_t>(k & (per - 1));
-    sv.amps[static_cast<std::size_t>(k)] =
+    const IdxType logical =
+        inv.empty() ? k : permute_bits(k, inv.data(), n_);
+    sv.amps[static_cast<std::size_t>(logical)] =
         Complex{real_parts_[d][off], imag_parts_[d][off]};
   }
   return sv;
@@ -186,6 +208,7 @@ StateVector PeerSim::state() const {
 
 void PeerSim::load_state(const StateVector& sv) {
   SVSIM_CHECK(sv.n_qubits == n_, "state width mismatch");
+  layout_.clear(); // loaded amplitudes are in natural (logical) order
   const IdxType per = pow2(lg_part_);
   for (IdxType k = 0; k < dim_; ++k) {
     const auto d = static_cast<std::size_t>(k >> lg_part_);

@@ -59,6 +59,13 @@ private:
 
   std::vector<IdxType> cbits_;
   std::vector<IdxType> results_;
+  /// Live logical→physical qubit layout (ir/remap). Empty = identity;
+  /// persists across execute() calls so sample()'s internal measure-all
+  /// run sees the permutation the previous circuit left behind.
+  std::vector<IdxType> layout_;
+  /// Flattened per-measure-all layout snapshots of the current execute()
+  /// (storage behind MeasureCtx::ma_layouts).
+  std::vector<IdxType> ma_layouts_;
   MeasureCtx mctx_;
   std::vector<Rng> rngs_; // per-worker replicas, same seed (lockstep)
   std::vector<ValType> scratch_;

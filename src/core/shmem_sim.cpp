@@ -79,6 +79,7 @@ void ShmemSim::reset_state() {
     ctx.barrier_all();
   });
   std::fill(cbits_.begin(), cbits_.end(), 0);
+  layout_.clear();
   for (auto& rng : rngs_) rng.reseed(cfg_.seed);
 }
 
@@ -87,8 +88,20 @@ void ShmemSim::execute(const Circuit& circuit) {
   runs.add();
   obs::RunReport& rep = begin_report(circuit, n_pes_);
 
+  // Communication-avoiding remap (ir/remap): rewrite the circuit so hot
+  // qubits live below lg_part_ (PE-local); readout is virtually permuted
+  // through the layout snapshots instead of physically restored. The
+  // report keeps the ORIGINAL circuit's tally/hash so ledger keys stay
+  // comparable across remap on/off.
+  const std::unique_ptr<RemapResult> rm =
+      maybe_remap(circuit, cfg_, n_pes_, lg_part_, &layout_);
+  ma_layouts_ = rm ? std::move(rm->ma_layouts) : std::vector<IdxType>{};
+  mctx_.ma_layouts = ma_layouts_.empty() ? nullptr : ma_layouts_.data();
+  mctx_.n_qubits = n_;
+  const Circuit& exec = rm ? rm->circuit : circuit;
+
   const auto device_circuit =
-      upload_circuit<ShmemSpace>(circuit, KernelTable<ShmemSpace>::get());
+      upload_circuit<ShmemSpace>(exec, KernelTable<ShmemSpace>::get());
 
   std::unique_ptr<obs::GateRecorder> rec;
   if (profiling_on(cfg_)) {
@@ -102,7 +115,7 @@ void ShmemSim::execute(const Circuit& circuit) {
   // Built once outside the PE team; shared read-only. b <= lg_part keeps
   // every block inside one PE's symmetric partition.
   const auto sched = kernels::prepare_sched<ShmemSpace>(
-      circuit, device_circuit, cfg_, lg_part_, rec != nullptr,
+      exec, device_circuit, cfg_, lg_part_, rec != nullptr,
       health ? health->every_n() : 0);
   if (sched.enabled) fold_sched_stats(rep, sched.sched.stats, sched.active, dim_);
 
@@ -110,14 +123,14 @@ void ShmemSim::execute(const Circuit& circuit) {
   // sampler is read, so inherited child counts cover the whole team.
   const bool roofline = roofline_on(cfg_);
   const obs::RunModel model =
-      roofline ? obs::model_run(circuit, sched.active ? &sched.sched : nullptr)
+      roofline ? obs::model_run(exec, sched.active ? &sched.sched : nullptr)
                : obs::RunModel{};
   obs::CounterSampler counters(roofline);
   std::unique_ptr<obs::WaitRecorder> wrec;
   if (waitstats_on(cfg_)) wrec = std::make_unique<obs::WaitRecorder>(n_pes_);
   obs::ProgressBoard* progress = progress_on(cfg_);
   if (progress != nullptr) {
-    progress->begin_run(name(), n_, n_pes_, circuit,
+    progress->begin_run(name(), n_, n_pes_, exec,
                         sched.active ? &sched.sched : nullptr);
   }
   const double loop_t0 = obs::trace_now_us();
@@ -170,12 +183,24 @@ void ShmemSim::run(const Circuit& circuit) {
 StateVector ShmemSim::state() const {
   StateVector sv(n_);
   const IdxType per_pe = pow2(lg_part_);
+  // Undo the remap layout virtually: physical amplitude index p holds
+  // logical basis state permute_bits(p, inverse, n).
+  std::vector<IdxType> inv;
+  if (!layout_.empty()) {
+    inv.resize(static_cast<std::size_t>(n_));
+    for (IdxType l = 0; l < n_; ++l) {
+      inv[static_cast<std::size_t>(layout_[static_cast<std::size_t>(l)])] = l;
+    }
+  }
   for (int pe = 0; pe < n_pes_; ++pe) {
     const ValType* r = real_sym_[static_cast<std::size_t>(pe)];
     const ValType* i = imag_sym_[static_cast<std::size_t>(pe)];
     const IdxType base = static_cast<IdxType>(pe) * per_pe;
     for (IdxType k = 0; k < per_pe; ++k) {
-      sv.amps[static_cast<std::size_t>(base + k)] = Complex{r[k], i[k]};
+      const IdxType phys = base + k;
+      const IdxType logical =
+          inv.empty() ? phys : permute_bits(phys, inv.data(), n_);
+      sv.amps[static_cast<std::size_t>(logical)] = Complex{r[k], i[k]};
     }
   }
   return sv;
@@ -183,6 +208,7 @@ StateVector ShmemSim::state() const {
 
 void ShmemSim::load_state(const StateVector& sv) {
   SVSIM_CHECK(sv.n_qubits == n_, "state width mismatch");
+  layout_.clear(); // loaded amplitudes are in natural (logical) order
   const IdxType per_pe = pow2(lg_part_);
   for (int pe = 0; pe < n_pes_; ++pe) {
     ValType* r = real_sym_[static_cast<std::size_t>(pe)];

@@ -16,6 +16,7 @@
 #include "core/state_vector.hpp"
 #include "ir/circuit.hpp"
 #include "ir/fusion.hpp"
+#include "ir/remap.hpp"
 #include "obs/capacity.hpp"
 #include "obs/health.hpp"
 #include "obs/httpd.hpp"
@@ -107,6 +108,34 @@ protected:
     report_.n_workers = n_workers;
     obs::tally_gates(report_, circuit);
     return report_;
+  }
+
+  /// Communication-avoiding remap (ir/remap) for a partitioned backend.
+  /// Call after begin_report(). When the pass resolves on (SimConfig::
+  /// remap / SVSIM_REMAP / auto multi-PE) and is applicable (more than
+  /// one PE, at least two node-local index bits), runs it seeded with the
+  /// persistent `layout` (empty = identity — it survives across runs so
+  /// sample()'s internal measure-all circuit sees the permutation the
+  /// previous circuit left behind), stores the final layout back, fills
+  /// report_.remap, and returns the rewritten circuit. Null = execute
+  /// the input unchanged.
+  std::unique_ptr<RemapResult> maybe_remap(const Circuit& circuit,
+                                           const SimConfig& cfg,
+                                           int n_workers, IdxType local_bits,
+                                           std::vector<IdxType>* layout) {
+    if (!remap_on(cfg, n_workers)) return nullptr;
+    obs::RemapStats& st = report_.remap;
+    st.enabled = true;
+    if (n_workers <= 1 || local_bits < 2) return nullptr;
+    auto rm = std::make_unique<RemapResult>(remap_for_partition(
+        circuit, local_bits, 64, layout->empty() ? nullptr : layout));
+    *layout = rm->layout;
+    st.active = true;
+    st.local_bits = static_cast<int>(local_bits);
+    st.swaps_inserted = static_cast<std::uint64_t>(rm->swaps_inserted);
+    st.modeled_remote_bytes_before = rm->modeled_remote_bytes_before;
+    st.modeled_remote_bytes_after = rm->modeled_remote_bytes_after;
+    return rm;
   }
 
   /// Per-run profiling decision: the config flag, or SVSIM_PROFILE set.

@@ -35,6 +35,12 @@ struct MeasureCtx {
   IdxType* cbits = nullptr;      // classical register (size n_cbits)
   IdxType* results = nullptr;    // MA shot outcomes (size n_shots)
   IdxType n_shots = 0;
+  /// Virtual-readout permutation table (ir/remap): flattened n_qubits-wide
+  /// logical→physical layout rows, indexed by the snapshot id an OP::MA
+  /// gate carries in its cbit field. Null when the circuit was not
+  /// remapped — kern_measure_all then sweeps physical order directly.
+  const IdxType* ma_layouts = nullptr;
+  IdxType n_qubits = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -480,6 +480,17 @@ Circuit& Circuit::append(const Gate& g) {
   throw Error("append: invalid gate op");
 }
 
+Circuit& Circuit::append_raw(const Gate& g) {
+  const int nq = op_info(g.op).n_qubits;
+  if (nq >= 1) check_qubit(g.qb0);
+  if (nq >= 2) {
+    check_qubit(g.qb1);
+    check_distinct2(g.qb0, g.qb1);
+  }
+  push(g);
+  return *this;
+}
+
 Circuit& Circuit::append(const Circuit& other) {
   SVSIM_CHECK(other.n_qubits_ <= n_qubits_,
               "appended circuit is wider than the target");

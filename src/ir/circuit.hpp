@@ -90,6 +90,12 @@ public:
   /// lowered according to the circuit's CompoundMode).
   Circuit& append(const Gate& g);
 
+  /// Append a gate verbatim: operands are validated but the gate is NOT
+  /// re-routed through the builder methods, so auxiliary fields the
+  /// builders would drop survive (e.g. the layout-snapshot index a remap
+  /// pass stores in an OP::MA gate's otherwise-unused cbit).
+  Circuit& append_raw(const Gate& g);
+
   /// Append every gate of another circuit (qubit counts must match).
   Circuit& append(const Circuit& other);
 

@@ -1,7 +1,10 @@
 #include "ir/remap.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
+
+#include "common/bits.hpp"
 
 namespace svsim {
 
@@ -21,27 +24,63 @@ std::size_t next_use(const std::vector<Gate>& gates, std::size_t from,
   return until;
 }
 
+/// Modeled cost of one gate whose physical operands include a qubit in
+/// the remote region: the kernel's index map then pairs amplitudes
+/// across the partition boundary, i.e. a full-state remote exchange.
+std::uint64_t remote_sweep_bytes(IdxType n) {
+  return static_cast<std::uint64_t>(pow2(n)) * sizeof(Complex);
+}
+
+/// A unitary kernel gate with a physical operand in the remote region
+/// pairs amplitudes across the partition boundary. Measure/reset are
+/// per-partition reductions regardless of operand position, so they do
+/// not count toward the modeled remote volume.
+bool touches_remote(const Gate& g, IdxType local_bits) {
+  if (!is_unitary_op(g.op)) return false;
+  const int nq = op_info(g.op).n_qubits;
+  return (nq >= 1 && g.qb0 >= local_bits) ||
+         (nq >= 2 && g.qb1 >= local_bits);
+}
+
 } // namespace
 
 RemapResult remap_for_partition(const Circuit& in, IdxType local_bits,
-                                int lookahead) {
+                                int lookahead,
+                                const std::vector<IdxType>* initial_layout) {
   const IdxType n = in.n_qubits();
   SVSIM_CHECK(local_bits >= 1 && local_bits <= n,
               "local_bits out of range");
   SVSIM_CHECK(local_bits >= 2 || n == 1,
               "need at least two local slots to host a 2-qubit gate");
 
-  RemapResult res{Circuit(n, CompoundMode::kNative, in.n_cbits()), {}, 0};
+  RemapResult res{Circuit(n, CompoundMode::kNative, in.n_cbits()),
+                  {}, {}, 0, 0, 0};
   std::vector<IdxType>& layout = res.layout; // logical -> physical
   layout.resize(static_cast<std::size_t>(n));
-  std::iota(layout.begin(), layout.end(), 0);
-  std::vector<IdxType> inverse = layout; // physical -> logical
+  if (initial_layout != nullptr) {
+    SVSIM_CHECK(static_cast<IdxType>(initial_layout->size()) == n,
+                "initial_layout width != circuit width");
+    layout = *initial_layout;
+  } else {
+    std::iota(layout.begin(), layout.end(), 0);
+  }
+  std::vector<IdxType> inverse(static_cast<std::size_t>(n));
+  for (IdxType l = 0; l < n; ++l) {
+    inverse[static_cast<std::size_t>(layout[static_cast<std::size_t>(l)])] = l;
+  }
 
   const auto& gates = in.gates();
+
+  // Recency of use per logical qubit (gate index + 1 of the last gate
+  // that touched it); the LRU eviction tie-break below.
+  std::vector<std::size_t> last_use(static_cast<std::size_t>(n), 0);
 
   auto do_swap = [&](IdxType pa, IdxType pb) {
     res.circuit.swap(pa, pb);
     ++res.swaps_inserted;
+    if (pa >= local_bits || pb >= local_bits) {
+      res.modeled_remote_bytes_after += remote_sweep_bytes(n);
+    }
     const IdxType la = inverse[static_cast<std::size_t>(pa)];
     const IdxType lb = inverse[static_cast<std::size_t>(pb)];
     std::swap(inverse[static_cast<std::size_t>(pa)],
@@ -52,38 +91,71 @@ RemapResult remap_for_partition(const Circuit& in, IdxType local_bits,
 
   for (std::size_t gi = 0; gi < gates.size(); ++gi) {
     const Gate& g = gates[gi];
-    SVSIM_CHECK(g.op != OP::MA,
-                "remap_for_partition: measure_all would report outcomes in "
-                "the permuted basis; restore the layout first");
     const int nq = op_info(g.op).n_qubits;
 
-    // Bring every remote operand into the local region.
-    const IdxType operands[2] = {g.qb0, g.qb1};
-    for (int oi = 0; oi < std::min(nq, 2); ++oi) {
-      const IdxType logical = operands[oi];
-      if (layout[static_cast<std::size_t>(logical)] < local_bits) continue;
+    if (touches_remote(g, local_bits)) {
+      res.modeled_remote_bytes_before += remote_sweep_bytes(n);
+    }
 
-      // Eviction victim: the local slot whose occupant's next use is the
-      // farthest away (and which is not an operand of this gate).
-      const std::size_t window =
-          std::min(gates.size(), gi + static_cast<std::size_t>(lookahead));
-      IdxType victim = -1;
-      std::size_t best = 0;
-      for (IdxType v = 0; v < local_bits; ++v) {
-        const IdxType occupant = inverse[static_cast<std::size_t>(v)];
-        bool is_operand = false;
-        for (int oj = 0; oj < std::min(nq, 2); ++oj) {
-          if (operands[oj] == occupant) is_operand = true;
+    if (g.op == OP::MA) {
+      // Virtual readout: snapshot the live layout so the sampling kernel
+      // can sweep in logical order; the row index travels in the MA
+      // gate's otherwise-unused cbit field.
+      const IdxType row =
+          static_cast<IdxType>(res.ma_layouts.size() /
+                               static_cast<std::size_t>(n));
+      res.ma_layouts.insert(res.ma_layouts.end(), layout.begin(),
+                            layout.end());
+      Gate ma = g;
+      ma.cbit = row;
+      res.circuit.append_raw(ma);
+      continue;
+    }
+
+    // Bring every remote operand of a *unitary* gate into the local
+    // region. Measure/reset are global reductions either way — swapping
+    // their operand local would add traffic, not remove it — so they are
+    // only operand-rewritten below.
+    const IdxType operands[2] = {g.qb0, g.qb1};
+    if (is_unitary_op(g.op)) {
+      for (int oi = 0; oi < std::min(nq, 2); ++oi) {
+        const IdxType logical = operands[oi];
+        if (layout[static_cast<std::size_t>(logical)] < local_bits) continue;
+
+        // Eviction victim: the local slot whose occupant's next use is
+        // the farthest away (and which is not an operand of this gate);
+        // among equally-distant candidates, the least recently used —
+        // strict greater-than alone always re-evicted slot 0 when every
+        // occupant's next use fell past the window, thrashing one slot
+        // on QFT-style ladders.
+        const std::size_t window =
+            std::min(gates.size(), gi + static_cast<std::size_t>(lookahead));
+        IdxType victim = -1;
+        std::size_t best = 0;
+        std::size_t best_last = 0;
+        for (IdxType v = 0; v < local_bits; ++v) {
+          const IdxType occupant = inverse[static_cast<std::size_t>(v)];
+          bool is_operand = false;
+          for (int oj = 0; oj < std::min(nq, 2); ++oj) {
+            if (operands[oj] == occupant) is_operand = true;
+          }
+          if (is_operand) continue;
+          const std::size_t use = next_use(gates, gi + 1, window, occupant);
+          const std::size_t last =
+              last_use[static_cast<std::size_t>(occupant)];
+          if (victim < 0 || use > best || (use == best && last < best_last)) {
+            victim = v;
+            best = use;
+            best_last = last;
+          }
         }
-        if (is_operand) continue;
-        const std::size_t use = next_use(gates, gi + 1, window, occupant);
-        if (victim < 0 || use > best) {
-          victim = v;
-          best = use;
-        }
+        SVSIM_CHECK(victim >= 0, "no evictable local slot");
+        do_swap(layout[static_cast<std::size_t>(logical)], victim);
       }
-      SVSIM_CHECK(victim >= 0, "no evictable local slot");
-      do_swap(layout[static_cast<std::size_t>(logical)], victim);
+    }
+
+    for (int oi = 0; oi < std::min(nq, 2); ++oi) {
+      last_use[static_cast<std::size_t>(operands[oi])] = gi + 1;
     }
 
     // Emit the gate with physical operands.
@@ -93,6 +165,9 @@ RemapResult remap_for_partition(const Circuit& in, IdxType local_bits,
     }
     if (nq >= 2 && g.qb1 >= 0) {
       mapped.qb1 = layout[static_cast<std::size_t>(g.qb1)];
+    }
+    if (touches_remote(mapped, local_bits)) {
+      res.modeled_remote_bytes_after += remote_sweep_bytes(n);
     }
     res.circuit.append(mapped);
   }
@@ -116,6 +191,17 @@ void restore_layout(Circuit& c, std::vector<IdxType> layout) {
     inverse[static_cast<std::size_t>(p)] = displaced;
     inverse[static_cast<std::size_t>(q)] = q;
   }
+}
+
+bool remap_on(const SimConfig& cfg, int n_workers) {
+  if (cfg.remap >= 0) return cfg.remap != 0;
+  static const int env = [] {
+    const char* s = std::getenv("SVSIM_REMAP");
+    if (s == nullptr || *s == '\0') return -1;
+    return std::atoi(s) != 0 ? 1 : 0;
+  }();
+  if (env >= 0) return env != 0;
+  return n_workers > 1;
 }
 
 } // namespace svsim

@@ -355,7 +355,8 @@ std::string Entry::line() const {
      << static_cast<unsigned long long>(tracked_peak_bytes)
      << ",\"est_err_pct\":";
   append_double(os, est_err_pct);
-  os << '}';
+  os << ",\"remap_swaps\":" << static_cast<unsigned long long>(remap_swaps)
+     << '}';
   return os.str();
 }
 
@@ -413,6 +414,12 @@ bool entry_from_report(const jsonlite::Value& report, Entry* out,
         static_cast<std::uint64_t>(mem->member_num("tracked_peak", 0));
     out->est_err_pct = mem->member_num("estimate_error", 0) * 100.0;
   }
+  if (const jsonlite::Value* rm = report.find("remap");
+      rm != nullptr && rm->is_object() && rm->find("enabled") != nullptr &&
+      rm->find("enabled")->bool_or(false)) {
+    out->remap_swaps =
+        static_cast<std::uint64_t>(rm->member_num("swaps_inserted", 0));
+  }
   out->rekey();
   return true;
 }
@@ -451,6 +458,8 @@ bool parse_line(const std::string& line, Entry* out, std::string* err) {
   out->tracked_peak_bytes =
       static_cast<std::uint64_t>(v.member_num("tracked_peak_bytes", 0));
   out->est_err_pct = v.member_num("est_err_pct", 0);
+  out->remap_swaps =
+      static_cast<std::uint64_t>(v.member_num("remap_swaps", 0));
   if (out->key.empty() || out->backend.empty() || out->wall_seconds < 0) {
     if (err != nullptr) *err = "ledger entry lacks key/backend/wall_seconds";
     return false;

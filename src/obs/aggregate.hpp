@@ -147,6 +147,9 @@ struct Entry {
   std::uint64_t peak_rss_bytes = 0;    // max(VmHWM, last VmRSS) sampled
   std::uint64_t tracked_peak_bytes = 0; // registry high-water mark
   double est_err_pct = 0; // (estimate − tracked peak)/peak, percent
+  // Communication-avoiding remap (additive; 0 = pass off or an older
+  // ledger line).
+  std::uint64_t remap_swaps = 0;
 
   /// Derive `key` from the identity fields.
   void rekey();

@@ -247,6 +247,20 @@ std::string RunReport::summary() const {
     os << buf;
   }
 
+  if (remap.enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "  remap: %llu swaps inserted (local bits %d), modeled "
+                  "remote bytes %llu -> %llu%s\n",
+                  static_cast<unsigned long long>(remap.swaps_inserted),
+                  remap.local_bits,
+                  static_cast<unsigned long long>(
+                      remap.modeled_remote_bytes_before),
+                  static_cast<unsigned long long>(
+                      remap.modeled_remote_bytes_after),
+                  remap.active ? "" : " (pass not applicable)");
+    os << buf;
+  }
+
   if (roofline.enabled) {
     const RooflineStats& r = roofline;
     std::snprintf(buf, sizeof(buf),

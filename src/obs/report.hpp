@@ -84,6 +84,20 @@ struct SchedulerStats {
   std::uint64_t traffic_avoided_bytes = 0;
 };
 
+/// Outcome of the communication-avoiding remap pass (ir/remap) for the
+/// last run(). Defaults when remapping was off or the backend is not
+/// partitioned. `modeled_*` price full-state sweeps that cross the
+/// partition boundary (2^n amplitudes × 16 bytes per offending gate);
+/// the measured TrafficMatrix is the ground truth the model predicts.
+struct RemapStats {
+  bool enabled = false; // remap resolved on for the run
+  bool active = false;  // the pass actually ran (partitioned, >= 2 local bits)
+  int local_bits = 0;   // node-local index bits the pass targeted
+  std::uint64_t swaps_inserted = 0;
+  std::uint64_t modeled_remote_bytes_before = 0;
+  std::uint64_t modeled_remote_bytes_after = 0;
+};
+
 /// Roofline attribution of the last run(): the analytic cost model's
 /// expected footprint (obs/perfmodel), the hardware-counter sample around
 /// the gate loop (obs/counters, perf_event_open), and their join against
@@ -228,6 +242,7 @@ struct RunReport {
   CommStats comm;
   HealthStats health;   // numerical-health tier (defaults when disabled)
   SchedulerStats sched; // gate-window scheduler (defaults when off)
+  RemapStats remap;     // communication-avoiding remap (defaults when off)
   RooflineStats roofline; // roofline attribution (defaults when off)
   MemoryStats memory;   // bytes-resident attribution (defaults when off)
   WaitProfile waitstate; // cross-PE wait-state breakdown (defaults when off)

@@ -143,6 +143,17 @@ std::string to_json(const RunReport& report) {
   append_u64(os, sc.traffic_avoided_bytes);
   os << '}';
 
+  const RemapStats& rm = report.remap;
+  os << ",\"remap\":{\"enabled\":" << (rm.enabled ? "true" : "false")
+     << ",\"active\":" << (rm.active ? "true" : "false")
+     << ",\"local_bits\":" << rm.local_bits << ",\"swaps_inserted\":";
+  append_u64(os, rm.swaps_inserted);
+  os << ",\"modeled_remote_bytes_before\":";
+  append_u64(os, rm.modeled_remote_bytes_before);
+  os << ",\"modeled_remote_bytes_after\":";
+  append_u64(os, rm.modeled_remote_bytes_after);
+  os << '}';
+
   const RooflineStats& rf = report.roofline;
   os << ",\"roofline\":{\"enabled\":" << (rf.enabled ? "true" : "false")
      << ",\"model\":{\"amps\":";

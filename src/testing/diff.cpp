@@ -172,6 +172,7 @@ std::string DiffSpec::label() const {
   }
   os << (fusion ? " fusion=on" : " fusion=off")
      << (sched ? " sched=on" : " sched=off");
+  if (remap) os << " remap=on";
   return os.str();
 }
 
@@ -180,6 +181,9 @@ std::unique_ptr<Simulator> make_backend(const DiffSpec& spec,
   SimConfig cfg;
   cfg.seed = spec.seed;
   cfg.sched_window = spec.sched ? -1 : 0; // -1 = auto (engine on), 0 = off
+  // Pin the remap pass both ways: auto (-1) would turn it on for every
+  // multi-worker spec and no leg would cover the unremapped baseline.
+  cfg.remap = spec.remap ? 1 : 0;
   if (spec.backend == "single") {
     return std::make_unique<SingleSim>(n_qubits, cfg);
   }
@@ -291,17 +295,24 @@ std::vector<DiffSpec> default_sweep(int workers, std::uint64_t seed,
                                     IdxType shots, ValType tol) {
   std::vector<DiffSpec> specs;
   for (const char* backend : {"single", "peer", "shmem", "coarse"}) {
+    const bool partitioned = std::string(backend) != "single";
     for (const bool fusion : {false, true}) {
       for (const bool sched : {false, true}) {
-        DiffSpec s;
-        s.backend = backend;
-        s.workers = s.backend == "single" ? 1 : workers;
-        s.fusion = fusion;
-        s.sched = sched;
-        s.seed = seed;
-        s.shots = shots;
-        s.tol = tol;
-        specs.push_back(std::move(s));
+        // The remap axis only exists on partitioned backends; single
+        // covers the remap=off point implicitly.
+        for (const bool remap : {false, true}) {
+          if (remap && !partitioned) continue;
+          DiffSpec s;
+          s.backend = backend;
+          s.workers = partitioned ? workers : 1;
+          s.fusion = fusion;
+          s.sched = sched;
+          s.remap = remap;
+          s.seed = seed;
+          s.shots = shots;
+          s.tol = tol;
+          specs.push_back(std::move(s));
+        }
       }
     }
   }

@@ -20,6 +20,11 @@ struct DiffSpec {
   int workers = 1;                // ignored by single/generalized
   bool fusion = false;            // run through fuse_gates first
   bool sched = false;             // cache-blocked gate-window engine on
+  /// Communication-avoiding remap axis: pins SimConfig::remap to 1 (on)
+  /// or 0 (off) so the sweep point is explicit either way — auto-on
+  /// multi-PE resolution never decides a diff leg. The oracle always
+  /// runs unremapped; equality proves the virtual readout permutation.
+  bool remap = false;
   std::uint64_t seed = 42;        // backend + oracle RNG seed
   IdxType shots = 256;            // sampling-equivalence shot count
   ValType tol = 1e-9;             // max |amp_backend - amp_oracle|

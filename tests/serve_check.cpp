@@ -112,6 +112,9 @@ int main(int argc, char** argv) {
   constexpr IdxType kQubits = 17;
   SimConfig serve_cfg;
   serve_cfg.sched_window = 0;
+  // The sampler keys on the submitted circuit's exact gate count; remap
+  // inserts swaps, so pin it off for this telemetry-focused run.
+  serve_cfg.remap = 0;
   const Circuit one_qft = circuits::qft(kQubits);
 
   // Size the circuit to the machine (and sanitizer level) at hand: time

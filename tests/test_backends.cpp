@@ -206,7 +206,11 @@ TEST(ShmemTrafficCounters, HighQubitGatesGoRemote) {
 }
 
 TEST(CoarseMsgCounters, ExchangeOnlyForHighQubits) {
-  CoarseMsgSim sim(8, 4);
+  // Pin remap off: this test asserts the *unavoided* exchange counts the
+  // coarse baseline pays; the remap pass would localize h(7)/cx(6,7).
+  SimConfig cfg;
+  cfg.remap = 0;
+  CoarseMsgSim sim(8, 4, cfg);
   Circuit c(8);
   c.h(0).cx(1, 2).h(7).cx(6, 7);
   sim.run(c);

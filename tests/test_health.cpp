@@ -107,6 +107,7 @@ TEST(HealthScan, NegativeInfinityAndDenormalsClassifiedCorrectly) {
 TEST(HealthMonitor, HealthyGhzRunTripsNothingOnEveryBackend) {
   SimConfig cfg;
   cfg.health_every_n = 1;
+  cfg.remap = 0; // check count asserts the exact submitted gate count
   for (const Backend b : kAllBackends) {
     auto sim = make_sim(b, 8, cfg);
     sim->run(ghz(8));

@@ -47,6 +47,11 @@ struct Options {
   std::string corpus;
   std::string replay;
   bool verbose = false;
+  /// Remap-focused campaign: boost mid-circuit measure/reset rates,
+  /// append a trailing measure_all to every circuit, and sweep only the
+  /// partitioned backends (where the remap axis exists) — the CI legs
+  /// that prove the virtual readout permutation bit-for-bit.
+  bool remap_stress = false;
 };
 
 void usage() {
@@ -63,6 +68,9 @@ void usage() {
       "  --mutants N     parser mutation fuzz mutants (default 0)\n"
       "  --corpus DIR    also check every .qasm file under DIR\n"
       "  --replay FILE   diff-check one QASM file and exit\n"
+      "  --remap-stress  adversarial remap campaign: heavy mid-circuit\n"
+      "                  measure/reset + trailing measure_all, partitioned\n"
+      "                  backends only (remap off AND on per spec)\n"
       "  --verbose       print every config checked\n";
 }
 
@@ -87,6 +95,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
     else if (a == "--mutants") opt.mutants = std::atoi(next());
     else if (a == "--corpus") opt.corpus = next();
     else if (a == "--replay") opt.replay = next();
+    else if (a == "--remap-stress") opt.remap_stress = true;
     else if (a == "--verbose") opt.verbose = true;
     else if (a == "--help" || a == "-h") { usage(); std::exit(0); }
     else {
@@ -100,11 +109,26 @@ bool parse_args(int argc, char** argv, Options& opt) {
 
 /// Diff one circuit against the oracle across the whole sweep. Returns
 /// the number of diverging configs; prints a DIVERGE line for each.
+/// The sweep a campaign runs per circuit: the full default sweep, or —
+/// under --remap-stress — only the partitioned-backend specs, where the
+/// remap axis (off and on) actually exists.
+std::vector<DiffSpec> campaign_sweep(const Options& opt) {
+  std::vector<DiffSpec> specs =
+      default_sweep(opt.workers, opt.seed, opt.shots, opt.tol);
+  if (opt.remap_stress) {
+    specs.erase(std::remove_if(specs.begin(), specs.end(),
+                               [](const DiffSpec& s) {
+                                 return s.batch > 0 || s.backend == "single";
+                               }),
+                specs.end());
+  }
+  return specs;
+}
+
 int diff_one(const Circuit& c, const std::string& tag, const Options& opt) {
   int failures = 0;
   const OracleResult oracle = oracle_run(c, opt.seed, opt.shots);
-  for (const DiffSpec& spec :
-       default_sweep(opt.workers, opt.seed, opt.shots, opt.tol)) {
+  for (const DiffSpec& spec : campaign_sweep(opt)) {
     const DiffResult r = diff_run(c, oracle, spec);
     if (opt.verbose) {
       std::cout << "  [" << tag << "] " << spec.label()
@@ -147,13 +171,20 @@ int main(int argc, char** argv) {
     CircuitGenOptions gen;
     gen.n_qubits = opt.qubits;
     gen.n_gates = opt.gates;
+    if (opt.remap_stress) {
+      gen.p_measure = 0.08;
+      gen.p_reset = 0.05;
+    }
     for (int i = 0; i < opt.circuits; ++i) {
-      const Circuit c = random_circuit(gen, mix_seed(opt.seed, i));
+      Circuit c = random_circuit(gen, mix_seed(opt.seed, i));
+      // Trailing measure_all exercises the layout-snapshot readout that
+      // the quarantined pass used to hard-throw on.
+      if (opt.remap_stress) c.measure_all();
       failures += diff_one(c, "c" + std::to_string(i), opt);
     }
     std::cout << "diff: " << opt.circuits << " circuits x "
-              << default_sweep(opt.workers, opt.seed, opt.shots, opt.tol).size()
-              << " configs, " << failures << " divergence(s)\n";
+              << campaign_sweep(opt).size() << " configs, " << failures
+              << " divergence(s)\n";
 
     // Phase 2: QASM round-trip fuzzing.
     int rt_failures = 0;
